@@ -1,0 +1,194 @@
+// Command acr runs the Automatic Configuration Repair pipeline on a case:
+// verify intents, localize suspicious configuration lines, or repair.
+//
+// Usage:
+//
+//	acr verify   (-builtin <name> | -dir <casedir>)
+//	acr simulate (-builtin <name> | -dir <casedir>)
+//	acr localize (-builtin <name> | -dir <casedir>) [-formula tarantula] [-top 15]
+//	acr repair   (-builtin <name> | -dir <casedir>) [-strategy evolutionary] [-seed 0] [-out <dir>]
+//
+// Builtins: figure2 (the paper's worked incident), figure2-repaired,
+// dcn4, wan. Case directories follow the format documented in
+// internal/caseio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"acr"
+	"acr/internal/caseio"
+	"acr/internal/core"
+	"acr/internal/sbfl"
+	"acr/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "verify":
+		err = runVerify(args)
+	case "simulate":
+		err = runSimulate(args)
+	case "localize":
+		err = runLocalize(args)
+	case "repair":
+		err = runRepair(args)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acr:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|localize|repair> [flags]
+  -builtin figure2|figure2-repaired|dcn4|wan   use a built-in case
+  -dir <casedir>                               load a case directory
+run "acr <cmd> -h" for command flags`)
+}
+
+func caseFlags(fs *flag.FlagSet) (builtin, dir *string) {
+	builtin = fs.String("builtin", "", "built-in case: figure2, figure2-repaired, dcn4, wan")
+	dir = fs.String("dir", "", "case directory (see internal/caseio)")
+	return
+}
+
+func loadCase(builtin, dir string) (*acr.Case, error) {
+	switch {
+	case builtin != "" && dir != "":
+		return nil, fmt.Errorf("-builtin and -dir are mutually exclusive")
+	case builtin != "":
+		switch builtin {
+		case "figure2":
+			return acr.Figure2Incident(), nil
+		case "figure2-repaired":
+			return acr.Figure2Repaired(), nil
+		case "dcn4":
+			return acr.FatTreeDCN(4, acr.GenOptions{WithScrubber: true, StaticOriginEvery: 2}), nil
+		case "wan":
+			return acr.WANBackbone(6, 4, 3, acr.GenOptions{StaticOriginEvery: 2}), nil
+		default:
+			return nil, fmt.Errorf("unknown builtin %q", builtin)
+		}
+	case dir != "":
+		s, err := caseio.Load(dir)
+		if err != nil {
+			return nil, err
+		}
+		return &acr.Case{Name: s.Name, Topo: s.Topo, Configs: s.Configs, Intents: s.Intents, Notes: s.Notes}, nil
+	default:
+		return nil, fmt.Errorf("one of -builtin or -dir is required")
+	}
+}
+
+func runVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	builtin, dir := caseFlags(fs)
+	fs.Parse(args)
+	c, err := loadCase(*builtin, *dir)
+	if err != nil {
+		return err
+	}
+	rep := acr.Verify(c)
+	fmt.Printf("case %s: %d intents, %d failing\n", c.Name, len(rep.Verdicts), rep.NumFailed())
+	fmt.Print(rep.Summary())
+	if rep.NumFailed() > 0 {
+		os.Exit(1)
+	}
+	return nil
+}
+
+func runSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	builtin, dir := caseFlags(fs)
+	fs.Parse(args)
+	c, err := loadCase(*builtin, *dir)
+	if err != nil {
+		return err
+	}
+	out := acr.Simulate(c)
+	fmt.Print(out.Describe())
+	return nil
+}
+
+func runLocalize(args []string) error {
+	fs := flag.NewFlagSet("localize", flag.ExitOnError)
+	builtin, dir := caseFlags(fs)
+	formula := fs.String("formula", "tarantula", "suspiciousness formula: tarantula, ochiai, jaccard, dstar")
+	top := fs.Int("top", 15, "lines to print")
+	fs.Parse(args)
+	c, err := loadCase(*builtin, *dir)
+	if err != nil {
+		return err
+	}
+	var f acr.Formula
+	switch *formula {
+	case "tarantula":
+		f = acr.Tarantula
+	case "ochiai":
+		f = acr.Ochiai
+	case "jaccard":
+		f = acr.Jaccard
+	case "dstar":
+		f = acr.DStar
+	default:
+		return fmt.Errorf("unknown formula %q", *formula)
+	}
+	scores := acr.LocalizeWith(c, f)
+	fmt.Printf("case %s: %s ranking, %d covered lines\n", c.Name, *formula, len(scores))
+	fmt.Print(sbfl.Format(scores, *top))
+	for i, s := range scores {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("      %s\n", c.Configs[s.Line.Device].Line(s.Line.Line))
+	}
+	return nil
+}
+
+func runRepair(args []string) error {
+	fs := flag.NewFlagSet("repair", flag.ExitOnError)
+	builtin, dir := caseFlags(fs)
+	strategy := fs.String("strategy", "evolutionary", "generation strategy: evolutionary or bruteforce")
+	seed := fs.Int64("seed", 0, "random seed")
+	outDir := fs.String("out", "", "write repaired case to this directory")
+	maxIter := fs.Int("max-iterations", 0, "iteration cap (default 500)")
+	fs.Parse(args)
+	c, err := loadCase(*builtin, *dir)
+	if err != nil {
+		return err
+	}
+	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter}
+	switch *strategy {
+	case "evolutionary":
+		opts.Strategy = core.Evolutionary
+	case "bruteforce":
+		opts.Strategy = core.BruteForce
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	res := acr.Repair(c, opts)
+	fmt.Print(res.Report(c.Configs))
+	if !res.Feasible {
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		s := &scenario.Scenario{Name: c.Name + "-repaired", Topo: c.Topo, Configs: res.FinalConfigs, Intents: c.Intents}
+		if err := caseio.Save(*outDir, s); err != nil {
+			return err
+		}
+		fmt.Printf("repaired case written to %s\n", *outDir)
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+// Command acrgen generates cases and incident corpora.
+//
+// Usage:
+//
+//	acrgen case   -kind figure2|dcn|wan [-k 4] [-routers 6 -pops 4 -dcns 3] -out <dir>
+//	acrgen corpus [-size 120] [-seed 1] [-out <dir>]    # one subdirectory per incident
+//	acrgen table1 [-size 120] [-seed 1]                 # print the class distribution
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"acr"
+	"acr/internal/caseio"
+	"acr/internal/incidents"
+	"acr/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "case":
+		err = runCase(os.Args[2:])
+	case "corpus":
+		err = runCorpus(os.Args[2:])
+	case "table1":
+		err = runTable1(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrgen:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: acrgen <case|corpus|table1> [flags]")
+}
+
+func runCase(args []string) error {
+	fs := flag.NewFlagSet("case", flag.ExitOnError)
+	kind := fs.String("kind", "figure2", "figure2, dcn, or wan")
+	k := fs.Int("k", 4, "fat-tree arity (dcn)")
+	routers := fs.Int("routers", 6, "backbone routers (wan)")
+	pops := fs.Int("pops", 4, "PoP stubs (wan)")
+	dcns := fs.Int("dcns", 3, "DCN stubs (wan)")
+	out := fs.String("out", "", "output directory (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	var c *acr.Case
+	switch *kind {
+	case "figure2":
+		c = acr.Figure2Incident()
+	case "dcn":
+		c = acr.FatTreeDCN(*k, acr.GenOptions{WithScrubber: true, StaticOriginEvery: 2})
+	case "wan":
+		c = acr.WANBackbone(*routers, *pops, *dcns, acr.GenOptions{StaticOriginEvery: 2})
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err := saveCase(*out, c); err != nil {
+		return err
+	}
+	fmt.Printf("wrote case %s (%d devices, %d intents) to %s\n", c.Name, len(c.Configs), len(c.Intents), *out)
+	return nil
+}
+
+func saveCase(dir string, c *acr.Case) error {
+	s := caseScenario(c)
+	return caseio.Save(dir, s)
+}
+
+func caseScenario(c *acr.Case) *scenario.Scenario {
+	return &scenario.Scenario{Name: c.Name, Topo: c.Topo, Configs: c.Configs, Intents: c.Intents, Notes: c.Notes, FaultyLines: c.GroundTruth}
+}
+
+func runCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	size := fs.Int("size", 120, "number of incidents")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "write each incident as a case directory here")
+	fs.Parse(args)
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	for _, inc := range incs {
+		fmt.Printf("%-20s %-40s lines=%d manual=%.1fmin ground-truth=%v\n",
+			inc.ID, inc.Class, inc.LinesChanged, inc.ManualMinutes, inc.Scenario.FaultyLines)
+		if *out != "" {
+			if err := caseio.Save(filepath.Join(*out, inc.ID), inc.Scenario); err != nil {
+				return err
+			}
+		}
+	}
+	if *out != "" {
+		fmt.Printf("wrote %d incident case directories under %s\n", len(incs), *out)
+	}
+	return nil
+}
+
+func runTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	size := fs.Int("size", 120, "number of incidents")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	counts := map[acr.ErrorClass]int{}
+	for _, inc := range incs {
+		counts[inc.Class]++
+	}
+	fmt.Printf("%-8s %-42s %-6s %-8s %-8s\n", "Configs", "Types", "Lines", "Paper", "Corpus")
+	for _, ci := range incidents.Table1 {
+		fmt.Printf("%-8s %-42s %-6s %6.1f%% %7.1f%%\n",
+			ci.Category, ci.Name, ci.Lines, ci.Ratio*100, 100*float64(counts[ci.Class])/float64(len(incs)))
+	}
+	return nil
+}

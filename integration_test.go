@@ -1,0 +1,217 @@
+package acr_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"acr"
+)
+
+// TestEndToEndFigure2 walks the whole §5 pipeline through the public API.
+func TestEndToEndFigure2(t *testing.T) {
+	c := acr.Figure2Incident()
+
+	// Detect: one failing intent, the flapping prefix.
+	rep := acr.Verify(c)
+	if rep.NumFailed() != 1 {
+		t.Fatalf("failing intents = %d, want 1\n%s", rep.NumFailed(), rep.Summary())
+	}
+	out := acr.Simulate(c)
+	if len(out.FlappingPrefixes()) != 1 {
+		t.Fatalf("flapping prefixes = %v, want exactly 10.0.0.0/16", out.FlappingPrefixes())
+	}
+
+	// Localize: the paper's Tarantula value on A's line 9.
+	scores := acr.Localize(c)
+	var line9 *acr.Score
+	for i := range scores {
+		if scores[i].Line == (acr.LineRef{Device: "A", Line: 9}) {
+			line9 = &scores[i]
+		}
+	}
+	if line9 == nil {
+		t.Fatal("A:9 not in localization output")
+	}
+	if math.Abs(line9.Susp-2.0/3.0) > 1e-9 {
+		t.Errorf("A:9 susp = %.4f, want 0.67", line9.Susp)
+	}
+
+	// Repair: feasible; repaired network verifies clean.
+	res := acr.Repair(c, acr.RepairOptions{})
+	if !res.Feasible {
+		t.Fatalf("repair infeasible: %s", res.Summary())
+	}
+	repaired := &acr.Case{Name: "repaired", Topo: c.Topo, Configs: res.FinalConfigs, Intents: c.Intents}
+	if got := acr.Verify(repaired); got.NumFailed() != 0 {
+		t.Fatalf("repaired network fails:\n%s", got.Summary())
+	}
+	if len(acr.Simulate(repaired).FlappingPrefixes()) != 0 {
+		t.Error("repaired network still flapping")
+	}
+}
+
+func TestEndToEndGeneratedCases(t *testing.T) {
+	for _, c := range []*acr.Case{
+		acr.Figure2Repaired(),
+		acr.FatTreeDCN(4, acr.GenOptions{WithScrubber: true, StaticOriginEvery: 2}),
+		acr.WANBackbone(6, 3, 2, acr.GenOptions{StaticOriginEvery: 2}),
+	} {
+		rep := acr.Verify(c)
+		if rep.NumFailed() != 0 {
+			t.Errorf("%s: correct case fails:\n%s", c.Name, rep.Summary())
+		}
+	}
+}
+
+func TestEndToEndIncrementalVerifier(t *testing.T) {
+	c := acr.Figure2Incident()
+	iv := acr.NewIncrementalVerifier(c)
+	if iv.BaseReport().NumFailed() != 1 {
+		t.Fatal("base should fail once")
+	}
+	// A harmless comment insertion must not flip anything and should be
+	// cheap.
+	rep, stats, err := iv.Check([]acr.EditSet{{Device: "B", Edits: nil}})
+	if err != nil || rep.NumFailed() != 1 {
+		t.Fatalf("no-op check: err=%v fails=%d", err, rep.NumFailed())
+	}
+	if stats.PrefixesSimulated != 0 {
+		t.Errorf("no-op simulated %d prefixes", stats.PrefixesSimulated)
+	}
+}
+
+func TestEndToEndBaselines(t *testing.T) {
+	c := acr.Figure2Incident()
+	mp := acr.MetaProvRepair(c)
+	if mp.SearchSpace == 0 {
+		t.Error("MetaProv search space empty")
+	}
+	aed := acr.AEDRepair(c, acr.AEDOptions{MaxCandidates: 500})
+	if aed.SearchSpaceLog2 < 12 {
+		t.Errorf("AED log2 space = %d, want >= 12 (the paper's 2^12 bound)", aed.SearchSpaceLog2)
+	}
+}
+
+func TestEndToEndCorpus(t *testing.T) {
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: 9, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := 0
+	for _, inc := range incs {
+		r := acr.RunIncident(inc, acr.RepairOptions{})
+		if r.BaseFailing > 0 && r.Feasible {
+			repaired++
+		}
+	}
+	if repaired == 0 {
+		t.Error("no corpus incident repaired")
+	}
+	t.Logf("repaired %d/%d sampled incidents", repaired, len(incs))
+}
+
+func TestEndToEndCustomCase(t *testing.T) {
+	// A downstream-user flow: build a case from raw config text.
+	c := acr.FatTreeDCN(4, acr.GenOptions{})
+	// Corrupt one leaf by replacing its config wholesale with a version
+	// missing the network statement.
+	leaf := "leaf1-1"
+	cfg := c.Configs[leaf]
+	var kept []string
+	for i := 1; i <= cfg.NumLines(); i++ {
+		if strings.Contains(cfg.Line(i), "network ") {
+			continue
+		}
+		kept = append(kept, cfg.Line(i))
+	}
+	c.Configs[leaf] = acr.ParseConfig(leaf, strings.Join(kept, "\n"))
+	rep := acr.Verify(c)
+	if rep.NumFailed() == 0 {
+		t.Fatal("deleting the origination should break reachability")
+	}
+	scores := acr.Localize(c)
+	if len(scores) == 0 {
+		t.Fatal("no localization output")
+	}
+	onLeaf := false
+	for _, s := range scores[:min(10, len(scores))] {
+		if s.Line.Device == leaf {
+			onLeaf = true
+		}
+	}
+	if !onLeaf {
+		t.Error("no top-10 suspicious line on the corrupted leaf")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestEndToEndRoleSimilarity(t *testing.T) {
+	rep := acr.AnalyzeRoles(acr.FatTreeDCN(4, acr.GenOptions{}))
+	if !rep.Supported(0.05) {
+		t.Fatalf("hypothesis unsupported:\n%s", rep)
+	}
+	if !strings.Contains(rep.String(), "leaf") {
+		t.Error("report missing leaf role")
+	}
+}
+
+func TestEndToEndMissingRoleShapes(t *testing.T) {
+	c := acr.FatTreeDCN(4, acr.GenOptions{})
+	cfg := c.Configs["leaf0-1"]
+	var kept []string
+	for i := 1; i <= cfg.NumLines(); i++ {
+		if strings.Contains(cfg.Line(i), "network ") {
+			continue
+		}
+		kept = append(kept, cfg.Line(i))
+	}
+	c.Configs["leaf0-1"] = acr.ParseConfig("leaf0-1", strings.Join(kept, "\n"))
+	shapes := acr.MissingRoleShapes(c, "leaf0-1", 0.75)
+	if len(shapes) == 0 {
+		t.Fatal("no missing role shapes detected")
+	}
+}
+
+func TestEndToEndDifferentialIntents(t *testing.T) {
+	good := acr.WANBackbone(6, 3, 2, acr.GenOptions{})
+	diff := acr.DifferentialIntents(good, acr.DiffGenOptions{IncludeIsolation: true})
+	if len(diff) == 0 {
+		t.Fatal("no differential intents")
+	}
+	merged := acr.MergeIntents(good.Intents, diff)
+	c := &acr.Case{Topo: good.Topo, Configs: good.Configs, Intents: merged}
+	if rep := acr.Verify(c); rep.NumFailed() != 0 {
+		t.Fatalf("augmented suite fails on its own baseline:\n%s", rep.Summary())
+	}
+}
+
+func TestEndToEndUniversalTemplates(t *testing.T) {
+	c := acr.Figure2Incident()
+	res := acr.Repair(c, acr.RepairOptions{Templates: acr.UniversalTemplates(), MaxIterations: 20})
+	if !res.Feasible {
+		t.Fatalf("universal operators infeasible on figure2: %s", res.Summary())
+	}
+}
+
+func TestEndToEndDoubleFaultCorpus(t *testing.T) {
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: 10, Seed: 4, DoubleFaultShare: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubles := 0
+	for _, inc := range incs {
+		if inc.DoubleFault {
+			doubles++
+		}
+	}
+	if doubles == 0 {
+		t.Fatal("no double-fault incidents via the facade")
+	}
+}

@@ -1,0 +1,204 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+
+	"acr/internal/netcfg"
+	"acr/internal/provenance"
+)
+
+// BuildProvenance reconstructs the derivation graph of an outcome. It is a
+// post-convergence analysis pass (the simulation itself carries no
+// tracing): for every prefix and every phase of its outcome, it replays
+// each router's originations, each session's export→import processing, and
+// each best-route selection, with line tracing enabled — producing exactly
+// the provenance that systems like Y! record online. Derivations identical
+// across phases are deduplicated, so a flapping prefix's graph is the
+// union of the derivations of all its cycle states.
+func BuildProvenance(n *Net, out *Outcome) *provenance.Graph {
+	g := provenance.NewGraph()
+	for _, p := range n.AllPrefixes() {
+		po := out.ByPrefix[p]
+		if po == nil {
+			continue
+		}
+		buildPrefixProvenance(g, n, p, po)
+	}
+	return g
+}
+
+func buildPrefixProvenance(g *provenance.Graph, n *Net, prefix netip.Prefix, po *PrefixOutcome) {
+	ids := map[string]int{} // dedup key → node id
+	add := func(key string, node provenance.Node) int {
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := g.Add(node)
+		ids[key] = id
+		return id
+	}
+
+	for _, phase := range po.Phases() {
+		// Origination and selection nodes first, so imports can reference
+		// the advertising neighbor's selection as a parent.
+		selIDs := map[string]int{} // router → selection node id for this phase
+		for _, name := range n.Order {
+			r := n.Routers[name]
+			for _, o := range r.Origins {
+				if o.Prefix != prefix {
+					continue
+				}
+				var tr lineRefs
+				if rt, ok := originRoute(r, o, &tr); ok {
+					key := fmt.Sprintf("orig|%s|%s", name, rt.Key())
+					add(key, provenance.Node{
+						Kind: provenance.Origination, Router: name, Prefix: prefix,
+						Detail: "originates " + rt.PathString(), Lines: tr.refs,
+					})
+				}
+			}
+			if best := phase[name]; best != nil {
+				key := fmt.Sprintf("sel|%s|%s", name, best.Key())
+				// The selection's parent is filled in below once the
+				// supporting import/origination node exists; we record the
+				// selection itself here.
+				selIDs[name] = add(key, provenance.Node{
+					Kind: provenance.Selection, Router: name, Prefix: prefix,
+					Detail: fmt.Sprintf("selects %s via %s", best.PathString(), bestVia(best)),
+				})
+			}
+		}
+		// Import / rejection derivations: replay each established session.
+		for _, name := range n.Order {
+			r := n.Routers[name]
+			for _, s := range r.Sessions {
+				nbBest := phase[s.PeerName]
+				if nbBest == nil {
+					continue
+				}
+				nbRouter := n.Routers[s.PeerName]
+				nbSess := n.sessionFrom(s.PeerName, s.LocalAddr)
+				if nbSess == nil {
+					continue
+				}
+				var exTr lineRefs
+				adv, ok := processExport(nbRouter, nbSess, nbBest, &exTr)
+				if !ok {
+					// Export suppressed: negative provenance on the sender.
+					key := fmt.Sprintf("exdeny|%s->%s|%s", s.PeerName, name, nbBest.Key())
+					node := provenance.Node{
+						Kind: provenance.Rejection, Router: s.PeerName, Prefix: prefix,
+						Peer: s.LocalAddr, Detail: "export policy suppressed advertisement",
+						Lines: exTr.refs,
+					}
+					if pid, ok := selIDs[s.PeerName]; ok {
+						node.Parents = []int{pid}
+					}
+					add(key, node)
+					continue
+				}
+				var imTr lineRefs
+				imTr.addRefs(exTr.refs)
+				in, accepted, reason := processImport(r, s, adv, &imTr)
+				if accepted {
+					key := fmt.Sprintf("imp|%s|%s|%s", name, s.PeerAddr, in.Key())
+					node := provenance.Node{
+						Kind: provenance.Import, Router: name, Prefix: prefix,
+						Peer: s.PeerAddr, Detail: fmt.Sprintf("imports %s from %s", in.PathString(), s.PeerName),
+						Lines: imTr.refs,
+					}
+					if pid, ok := selIDs[s.PeerName]; ok {
+						node.Parents = []int{pid}
+					}
+					id := add(key, node)
+					// Wire this import as a parent of the receiver's
+					// selection when it is the route selected.
+					if best := phase[name]; best != nil && best.Src == SrcPeer && best.PeerAddr == s.PeerAddr && best.Key() == in.Key() {
+						if sid, ok := selIDs[name]; ok {
+							g.Node(sid).Parents = appendUnique(g.Node(sid).Parents, id)
+						}
+					}
+				} else {
+					key := fmt.Sprintf("rej|%s|%s|%s|%s", name, s.PeerAddr, adv.Key(), reason)
+					node := provenance.Node{
+						Kind: provenance.Rejection, Router: name, Prefix: prefix,
+						Peer: s.PeerAddr, Detail: fmt.Sprintf("rejects %s from %s: %s", adv.PathString(), s.PeerName, reason),
+						Lines: imTr.refs,
+					}
+					if pid, ok := selIDs[s.PeerName]; ok {
+						node.Parents = []int{pid}
+					}
+					add(key, node)
+				}
+			}
+			// Local selections supported by originations.
+			if best := phase[name]; best != nil && best.Src == SrcLocal {
+				for _, o := range r.Origins {
+					if o.Prefix != prefix {
+						continue
+					}
+					var tr lineRefs
+					if rt, ok := originRoute(r, o, &tr); ok && rt.Key() == best.Key() {
+						okey := fmt.Sprintf("orig|%s|%s", name, rt.Key())
+						if oid, ok := ids[okey]; ok {
+							if sid, ok := selIDs[name]; ok {
+								g.Node(sid).Parents = appendUnique(g.Node(sid).Parents, oid)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func bestVia(r *Route) string {
+	if r.Src == SrcLocal {
+		return "local"
+	}
+	return r.PeerAddr.String()
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// MissingOriginLines computes negative provenance for a prefix that has no
+// derivation at all — typically a missing origination (the paper's most
+// common error class, "missing redistribution of static route", 20.8% of
+// incidents). It returns the lines an operator would inspect: static
+// routes covering the prefix anywhere, the would-be origin router's bgp
+// block header, and its redistribute statement if present.
+func MissingOriginLines(n *Net, prefix netip.Prefix) []netcfg.LineRef {
+	var out []netcfg.LineRef
+	origin := n.Topo.OriginOfPrefix(prefix)
+	for _, name := range n.Order {
+		r := n.Routers[name]
+		for _, s := range r.Statics {
+			if s.Prefix == prefix || (s.Prefix.IsValid() && s.Prefix.Overlaps(prefix)) {
+				out = append(out, netcfg.LineRef{Device: name, Line: s.Line})
+				if b := r.File.BGP; b != nil {
+					out = append(out, netcfg.LineRef{Device: name, Line: b.Line})
+					if b.Redistribute != nil {
+						out = append(out, netcfg.LineRef{Device: name, Line: b.Redistribute.Line})
+					}
+				}
+			}
+		}
+	}
+	if origin != nil {
+		if b := n.Routers[origin.Name].File.BGP; b != nil {
+			out = append(out, netcfg.LineRef{Device: origin.Name, Line: b.Line})
+			if b.Redistribute != nil {
+				out = append(out, netcfg.LineRef{Device: origin.Name, Line: b.Redistribute.Line})
+			}
+		}
+	}
+	return out
+}

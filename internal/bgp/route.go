@@ -1,0 +1,178 @@
+// Package bgp implements a deterministic path-vector BGP control-plane
+// simulator over topo networks and netcfg configurations. It reproduces
+// the semantics the HotNets '24 ACR paper's worked incident depends on:
+//
+//   - eBGP sessions established from `peer` stanzas (a session only comes
+//     up when both ends configure each other with the correct AS numbers —
+//     so the "override to wrong AS number" misconfiguration manifests as a
+//     session that never establishes);
+//   - import/export route-policies with prefix-list matching and, in
+//     particular, `apply as-path overwrite`, the policy at the heart of the
+//     Figure 2 incident;
+//   - receiver-side AS-path loop detection as the only loop prevention
+//     (senders advertise their best route to every peer) — which is exactly
+//     what AS-path overwrite silently disables, making both the route flap
+//     and the transient C–S forwarding loop of the paper reproducible;
+//   - deterministic sequential (round-robin) activation to a fixpoint, with
+//     state-cycle detection: a prefix whose state sequence repeats without
+//     converging is reported as flapping, per prefix — BGP computation is
+//     independent across prefixes, which also enables DNA-style incremental
+//     re-verification at prefix granularity.
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"acr/internal/netcfg"
+)
+
+// RouteOrigin is the BGP origin attribute (lower is preferred).
+type RouteOrigin uint8
+
+// Origin values.
+const (
+	OriginIGP        RouteOrigin = 0 // network statement
+	OriginIncomplete RouteOrigin = 2 // redistributed static
+)
+
+// SourceKind says where a route came from.
+type SourceKind uint8
+
+// Route sources.
+const (
+	SrcLocal SourceKind = iota // originated on this router
+	SrcPeer                    // learned from a neighbor
+)
+
+// Route is one BGP route as held in a router's Adj-RIB-In or Loc-RIB.
+// Routes are treated as immutable; policy application copies.
+type Route struct {
+	Prefix    netip.Prefix
+	ASPath    []uint32
+	LocalPref uint32
+	MED       uint32
+	Origin    RouteOrigin
+	// NextHop is the address packets are forwarded to: the advertising
+	// peer's interface address for learned routes, the static next hop for
+	// redistributed statics, or invalid for locally attached prefixes.
+	NextHop netip.Addr
+	Src     SourceKind
+	// PeerAddr is the advertising neighbor (SrcPeer only).
+	PeerAddr netip.Addr
+	// PeerRID is the advertising neighbor's router ID, used in best-path
+	// tie-breaking (SrcPeer only; for local routes the router's own ID).
+	PeerRID netip.Addr
+}
+
+// DefaultLocalPref is the local preference assigned when no policy sets one.
+const DefaultLocalPref = 100
+
+// clone returns a deep copy (the AS path is the only reference field).
+func (r *Route) clone() *Route {
+	cp := *r
+	cp.ASPath = append([]uint32(nil), r.ASPath...)
+	return &cp
+}
+
+// HasAS reports whether asn appears in the route's AS path.
+func (r *Route) HasAS(asn uint32) bool {
+	for _, a := range r.ASPath {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// PathString renders the AS path for reports, e.g. "[65001 65002]".
+func (r *Route) PathString() string {
+	parts := make([]string, len(r.ASPath))
+	for i, a := range r.ASPath {
+		parts[i] = fmt.Sprint(a)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Key renders a canonical string for state hashing: every field that can
+// influence future behavior must appear.
+func (r *Route) Key() string {
+	return fmt.Sprintf("%s|%s|lp%d|med%d|o%d|nh%s|s%d|p%s",
+		r.Prefix, r.PathString(), r.LocalPref, r.MED, r.Origin, r.NextHop, r.Src, r.PeerAddr)
+}
+
+// Better reports whether route a is preferred over b under the standard
+// decision process:
+//
+//  1. higher LocalPref
+//  2. locally originated over learned
+//  3. shorter AS path
+//  4. lower origin (IGP < incomplete)
+//  5. lower MED
+//  6. lower advertising-peer router ID
+//  7. lower peer address (final deterministic tie break)
+//
+// b may be nil, in which case a wins.
+func Better(a, b *Route) bool {
+	if b == nil {
+		return true
+	}
+	if a == nil {
+		return false
+	}
+	if a.LocalPref != b.LocalPref {
+		return a.LocalPref > b.LocalPref
+	}
+	if a.Src != b.Src {
+		return a.Src == SrcLocal
+	}
+	if len(a.ASPath) != len(b.ASPath) {
+		return len(a.ASPath) < len(b.ASPath)
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	if a.MED != b.MED {
+		return a.MED < b.MED
+	}
+	if a.PeerRID != b.PeerRID {
+		return a.PeerRID.Less(b.PeerRID)
+	}
+	if a.PeerAddr != b.PeerAddr {
+		return a.PeerAddr.Less(b.PeerAddr)
+	}
+	return false
+}
+
+// SelectBest returns the most preferred route, or nil for an empty slice.
+// Selection is deterministic regardless of input order.
+func SelectBest(routes []*Route) *Route {
+	var best *Route
+	for _, r := range routes {
+		if Better(r, best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// lineRefs is a tiny helper collecting LineRefs during policy evaluation
+// and session compilation.
+type lineRefs struct {
+	refs []netcfg.LineRef
+}
+
+func (t *lineRefs) add(device string, line int) {
+	if t == nil || line == 0 {
+		return
+	}
+	t.refs = append(t.refs, netcfg.LineRef{Device: device, Line: line})
+}
+
+func (t *lineRefs) addRefs(rs []netcfg.LineRef) {
+	if t == nil {
+		return
+	}
+	t.refs = append(t.refs, rs...)
+}

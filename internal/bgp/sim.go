@@ -1,0 +1,295 @@
+package bgp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"strings"
+)
+
+// PrefixOutcome is the control-plane result for one prefix.
+type PrefixOutcome struct {
+	Prefix    netip.Prefix
+	Converged bool
+	// Passes is the number of full activation passes executed.
+	Passes int
+	// Final is the stable best-route map (router name → route, absent when
+	// the router has no route). Nil when not converged.
+	Final map[string]*Route
+	// Cycle holds the repeating sequence of best-route maps when the
+	// prefix flaps: the control plane visits these states forever. Nil
+	// when converged.
+	Cycle []map[string]*Route
+}
+
+// Phases returns the dataplane-relevant states: the single final state
+// when converged, or every state of the cycle when flapping.
+func (po *PrefixOutcome) Phases() []map[string]*Route {
+	if po.Converged {
+		return []map[string]*Route{po.Final}
+	}
+	return po.Cycle
+}
+
+// FlappingRouters lists routers whose best route differs across cycle
+// phases (empty when converged).
+func (po *PrefixOutcome) FlappingRouters() []string {
+	if po.Converged || len(po.Cycle) == 0 {
+		return nil
+	}
+	var out []string
+	for name := range po.Cycle[0] {
+		first := po.Cycle[0][name]
+		for _, ph := range po.Cycle[1:] {
+			if routeKey(ph[name]) != routeKey(first) {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	// Routers absent from phase 0 but present later also flap.
+	seen := map[string]bool{}
+	for _, n := range out {
+		seen[n] = true
+	}
+	for _, ph := range po.Cycle[1:] {
+		for name := range ph {
+			if _, ok := po.Cycle[0][name]; !ok && !seen[name] {
+				out = append(out, name)
+				seen[name] = true
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Outcome is the control-plane result for every originated prefix.
+type Outcome struct {
+	Net      *Net
+	ByPrefix map[netip.Prefix]*PrefixOutcome
+}
+
+// Converged reports whether every prefix converged.
+func (o *Outcome) Converged() bool {
+	for _, po := range o.ByPrefix {
+		if !po.Converged {
+			return false
+		}
+	}
+	return true
+}
+
+// FlappingPrefixes lists prefixes that failed to converge, sorted.
+func (o *Outcome) FlappingPrefixes() []netip.Prefix {
+	var out []netip.Prefix
+	for p, po := range o.ByPrefix {
+		if !po.Converged {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr().Less(out[j].Addr()) })
+	return out
+}
+
+// Options tunes simulation.
+type Options struct {
+	// MaxPasses bounds activation passes per prefix; 0 means automatic
+	// (2×routers+20, minimum 32). A prefix that neither converges nor
+	// revisits a state within the bound is reported as not converged with
+	// the tail of observed states as its Cycle.
+	MaxPasses int
+}
+
+// Simulate runs the control plane for every originated prefix.
+// BGP computation is independent across prefixes (policies here never
+// couple prefixes), which is what makes per-prefix incremental
+// re-simulation sound — the DNA-style validator exploits that.
+func Simulate(n *Net, opts Options) *Outcome {
+	out := &Outcome{Net: n, ByPrefix: map[netip.Prefix]*PrefixOutcome{}}
+	for _, p := range n.AllPrefixes() {
+		out.ByPrefix[p] = SimulatePrefix(n, p, opts)
+	}
+	return out
+}
+
+// prefixState is the full dynamic state of one prefix's computation.
+type prefixState struct {
+	// adjIn[router][peerAddr] is the post-import route the router holds
+	// from that neighbor.
+	adjIn map[string]map[netip.Addr]*Route
+	best  map[string]*Route
+}
+
+func newPrefixState(n *Net) *prefixState {
+	st := &prefixState{adjIn: map[string]map[netip.Addr]*Route{}, best: map[string]*Route{}}
+	for _, name := range n.Order {
+		st.adjIn[name] = map[netip.Addr]*Route{}
+	}
+	return st
+}
+
+func routeKey(r *Route) string {
+	if r == nil {
+		return "-"
+	}
+	return r.Key()
+}
+
+// hash digests the complete state; any field that can influence future
+// transitions must be included.
+func (st *prefixState) hash(order []string) uint64 {
+	h := fnv.New64a()
+	for _, name := range order {
+		h.Write([]byte(name))
+		h.Write([]byte{'='})
+		h.Write([]byte(routeKey(st.best[name])))
+		peers := make([]netip.Addr, 0, len(st.adjIn[name]))
+		for a := range st.adjIn[name] {
+			peers = append(peers, a)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
+		for _, a := range peers {
+			fmt.Fprintf(h, "|%s:%s", a, st.adjIn[name][a].Key())
+		}
+		h.Write([]byte{'\n'})
+	}
+	return h.Sum64()
+}
+
+func (st *prefixState) snapshot(order []string) map[string]*Route {
+	snap := make(map[string]*Route, len(order))
+	for _, name := range order {
+		if r := st.best[name]; r != nil {
+			snap[name] = r
+		}
+	}
+	return snap
+}
+
+// SimulatePrefix runs one prefix to fixpoint or detected oscillation,
+// using deterministic sequential (round-robin) activation: each full pass
+// activates every router in topology order; a router that changes its best
+// route immediately sends updates (or withdrawals) to every established
+// session — BGP has no sender-side split horizon for eBGP; receivers rely
+// on AS-path loop detection, applied inside processImport.
+func SimulatePrefix(n *Net, prefix netip.Prefix, opts Options) *PrefixOutcome {
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 2*len(n.Order) + 20
+		if maxPasses < 32 {
+			maxPasses = 32
+		}
+	}
+	st := newPrefixState(n)
+	seen := map[uint64]int{}       // state hash → pass index it was first seen after
+	snaps := []map[string]*Route{} // snapshot after each pass
+
+	for pass := 1; pass <= maxPasses; pass++ {
+		changed := false
+		for _, name := range n.Order {
+			if n.activate(st, name, prefix) {
+				changed = true
+			}
+		}
+		if !changed {
+			return &PrefixOutcome{Prefix: prefix, Converged: true, Passes: pass, Final: st.snapshot(n.Order)}
+		}
+		h := st.hash(n.Order)
+		if first, ok := seen[h]; ok {
+			// States after passes first..pass-1 repeat forever.
+			return &PrefixOutcome{Prefix: prefix, Converged: false, Passes: pass, Cycle: snaps[first:]}
+		}
+		seen[h] = len(snaps)
+		snaps = append(snaps, st.snapshot(n.Order))
+	}
+	// Bound hit without repeat: report the tail as the observed unstable
+	// behavior. This indicates maxPasses is too small for the topology.
+	tail := snaps
+	if len(tail) > 8 {
+		tail = tail[len(tail)-8:]
+	}
+	return &PrefixOutcome{Prefix: prefix, Converged: false, Passes: maxPasses, Cycle: tail}
+}
+
+// activate recomputes router name's best route for prefix and, on change,
+// pushes updates to neighbors. Reports whether anything changed (best or
+// any neighbor's adj-in).
+func (n *Net) activate(st *prefixState, name string, prefix netip.Prefix) bool {
+	r := n.Routers[name]
+	var candidates []*Route
+	for _, o := range r.Origins {
+		if o.Prefix != prefix {
+			continue
+		}
+		if rt, ok := originRoute(r, o, nil); ok {
+			candidates = append(candidates, rt)
+		}
+	}
+	for _, rt := range st.adjIn[name] {
+		candidates = append(candidates, rt)
+	}
+	best := SelectBest(candidates)
+	if routeKey(best) == routeKey(st.best[name]) {
+		return false
+	}
+	st.best[name] = best
+	// Push the new best (or withdrawal) to every session.
+	for _, s := range r.Sessions {
+		nb := s.PeerName
+		prev := st.adjIn[nb][s.LocalAddr]
+		var next *Route
+		if best != nil {
+			if adv, ok := processExport(r, s, best, nil); ok {
+				nbRouter := n.Routers[nb]
+				nbSess := n.sessionFrom(nb, s.LocalAddr)
+				if nbSess != nil {
+					if in, ok, _ := processImport(nbRouter, nbSess, adv, nil); ok {
+						next = in
+					}
+				}
+			}
+		}
+		if routeKey(prev) != routeKey(next) {
+			if next == nil {
+				delete(st.adjIn[nb], s.LocalAddr)
+			} else {
+				st.adjIn[nb][s.LocalAddr] = next
+			}
+		}
+	}
+	return true
+}
+
+// sessionFrom returns router `name`'s session whose neighbor address is
+// peerAddr, or nil.
+func (n *Net) sessionFrom(name string, peerAddr netip.Addr) *Session {
+	for _, s := range n.Routers[name].Sessions {
+		if s.PeerAddr == peerAddr {
+			return s
+		}
+	}
+	return nil
+}
+
+// Describe renders a compact multi-line report of an outcome, used by the
+// CLI tools and examples.
+func (o *Outcome) Describe() string {
+	var sb strings.Builder
+	prefixes := make([]netip.Prefix, 0, len(o.ByPrefix))
+	for p := range o.ByPrefix {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Addr().Less(prefixes[j].Addr()) })
+	for _, p := range prefixes {
+		po := o.ByPrefix[p]
+		if po.Converged {
+			fmt.Fprintf(&sb, "%s: converged in %d passes\n", p, po.Passes)
+		} else {
+			fmt.Fprintf(&sb, "%s: FLAPPING (cycle of %d states; unstable routers: %s)\n",
+				p, len(po.Cycle), strings.Join(po.FlappingRouters(), ", "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,330 @@
+// Package caseio loads and saves repair cases as plain-text directories,
+// so the cmd/acr tool can operate on user-supplied networks:
+//
+//	casedir/
+//	  topology.txt    # nodes and links
+//	  intents.txt     # the specification
+//	  configs/<device>.cfg
+//
+// Topology format (one statement per line; '#' comments):
+//
+//	node <name> <kind> <asn> <router-id> [originates <prefix>[,<prefix>...]]
+//	link <nodeA> <nodeB>
+//
+// Kinds: backbone, pop, dcn, spine, leaf, core. Links allocate interface
+// addresses deterministically in declaration order, so configs generated
+// against a topology remain valid across reloads.
+//
+// Intent format:
+//
+//	reach <id> <src-prefix> <dst-prefix> [port <n>] [proto tcp|udp]
+//	isolate <id> <src-prefix> <dst-prefix>
+//	waypoint <id> <src-prefix> <dst-prefix> via <router> [port <n>]
+//	loopfree <id> <prefix>
+//	blackholefree <id> <prefix>
+package caseio
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+	"acr/internal/topo"
+	"acr/internal/verify"
+)
+
+// Load reads a case directory.
+func Load(dir string) (*scenario.Scenario, error) {
+	topoText, err := os.ReadFile(filepath.Join(dir, "topology.txt"))
+	if err != nil {
+		return nil, err
+	}
+	t, err := ParseTopology(filepath.Base(dir), string(topoText))
+	if err != nil {
+		return nil, fmt.Errorf("topology.txt: %w", err)
+	}
+	intentText, err := os.ReadFile(filepath.Join(dir, "intents.txt"))
+	if err != nil {
+		return nil, err
+	}
+	intents, err := ParseIntents(string(intentText))
+	if err != nil {
+		return nil, fmt.Errorf("intents.txt: %w", err)
+	}
+	configs := map[string]*netcfg.Config{}
+	entries, err := os.ReadDir(filepath.Join(dir, "configs"))
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".cfg") {
+			continue
+		}
+		device := strings.TrimSuffix(e.Name(), ".cfg")
+		if t.Node(device) == nil {
+			return nil, fmt.Errorf("configs/%s: device not in topology", e.Name())
+		}
+		text, err := os.ReadFile(filepath.Join(dir, "configs", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		configs[device] = netcfg.NewConfig(device, string(text))
+	}
+	if len(configs) == 0 {
+		return nil, errors.New("no configs/*.cfg files")
+	}
+	return &scenario.Scenario{
+		Name:    filepath.Base(dir),
+		Topo:    t,
+		Configs: configs,
+		Intents: intents,
+	}, nil
+}
+
+// Save writes a case directory (creating it as needed).
+func Save(dir string, s *scenario.Scenario) error {
+	if err := os.MkdirAll(filepath.Join(dir, "configs"), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "topology.txt"), []byte(FormatTopology(s.Topo)), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "intents.txt"), []byte(FormatIntents(s.Intents)), 0o644); err != nil {
+		return err
+	}
+	devices := make([]string, 0, len(s.Configs))
+	for d := range s.Configs {
+		devices = append(devices, d)
+	}
+	sort.Strings(devices)
+	for _, d := range devices {
+		path := filepath.Join(dir, "configs", d+".cfg")
+		if err := os.WriteFile(path, []byte(s.Configs[d].Text()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseTopology parses the topology format.
+func ParseTopology(name, text string) (*topo.Network, error) {
+	t := topo.New(name)
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "node":
+			if len(f) < 5 {
+				return nil, fmt.Errorf("line %d: usage: node <name> <kind> <asn> <router-id> [originates p1,p2]", i+1)
+			}
+			kind, err := parseKind(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			asn, err := strconv.ParseUint(f[3], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad asn %q", i+1, f[3])
+			}
+			rid, err := netip.ParseAddr(f[4])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad router-id %q", i+1, f[4])
+			}
+			nd := t.AddNode(f[1], kind, uint32(asn), rid)
+			if len(f) == 7 && f[5] == "originates" {
+				for _, ps := range strings.Split(f[6], ",") {
+					p, err := netip.ParsePrefix(ps)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: bad prefix %q", i+1, ps)
+					}
+					nd.Originates = append(nd.Originates, p.Masked())
+				}
+			} else if len(f) != 5 {
+				return nil, fmt.Errorf("line %d: trailing tokens", i+1)
+			}
+		case "link":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("line %d: usage: link <a> <b>", i+1)
+			}
+			if t.Node(f[1]) == nil || t.Node(f[2]) == nil {
+				return nil, fmt.Errorf("line %d: link references unknown node", i+1)
+			}
+			t.Connect(f[1], f[2])
+		default:
+			return nil, fmt.Errorf("line %d: unknown statement %q", i+1, f[0])
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FormatTopology renders a topology in the Load format. Node and link
+// declaration order is preserved, which keeps address allocation stable
+// across a Save/Load round trip.
+func FormatTopology(t *topo.Network) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# topology %s: %d nodes, %d links\n", t.Name, t.NumNodes(), len(t.Links))
+	for _, nd := range t.Nodes() {
+		fmt.Fprintf(&sb, "node %s %s %d %s", nd.Name, nd.Kind, nd.ASN, nd.RouterID)
+		if len(nd.Originates) > 0 {
+			parts := make([]string, len(nd.Originates))
+			for i, p := range nd.Originates {
+				parts[i] = p.String()
+			}
+			fmt.Fprintf(&sb, " originates %s", strings.Join(parts, ","))
+		}
+		sb.WriteByte('\n')
+	}
+	for _, l := range t.Links {
+		fmt.Fprintf(&sb, "link %s %s\n", l.A.Node, l.B.Node)
+	}
+	return sb.String()
+}
+
+func parseKind(s string) (topo.Kind, error) {
+	switch s {
+	case "backbone":
+		return topo.Backbone, nil
+	case "pop":
+		return topo.PoP, nil
+	case "dcn":
+		return topo.DCN, nil
+	case "spine":
+		return topo.Spine, nil
+	case "leaf":
+		return topo.Leaf, nil
+	case "core":
+		return topo.Core, nil
+	}
+	return 0, fmt.Errorf("unknown node kind %q", s)
+}
+
+// ParseIntents parses the intent format.
+func ParseIntents(text string) ([]verify.Intent, error) {
+	var out []verify.Intent
+	for i, raw := range strings.Split(text, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		bad := func(usage string) error {
+			return fmt.Errorf("line %d: usage: %s", i+1, usage)
+		}
+		switch f[0] {
+		case "reach", "isolate":
+			if len(f) < 4 {
+				return nil, bad(f[0] + " <id> <src> <dst> [port <n>] [proto tcp|udp]")
+			}
+			src, err1 := netip.ParsePrefix(f[2])
+			dst, err2 := netip.ParsePrefix(f[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad prefix", i+1)
+			}
+			in := verify.ReachIntent(f[1], src.Masked(), dst.Masked())
+			if f[0] == "isolate" {
+				in.Kind = verify.Isolation
+			}
+			if err := parseFlowOpts(f[4:], &in); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			out = append(out, in)
+		case "waypoint":
+			if len(f) < 6 || f[4] != "via" {
+				return nil, bad("waypoint <id> <src> <dst> via <router> [port <n>]")
+			}
+			src, err1 := netip.ParsePrefix(f[2])
+			dst, err2 := netip.ParsePrefix(f[3])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad prefix", i+1)
+			}
+			in := verify.WaypointIntent(f[1], src.Masked(), dst.Masked(), f[5])
+			if err := parseFlowOpts(f[6:], &in); err != nil {
+				return nil, fmt.Errorf("line %d: %w", i+1, err)
+			}
+			out = append(out, in)
+		case "loopfree", "blackholefree":
+			if len(f) != 3 {
+				return nil, bad(f[0] + " <id> <prefix>")
+			}
+			p, err := netip.ParsePrefix(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad prefix %q", i+1, f[2])
+			}
+			if f[0] == "loopfree" {
+				out = append(out, verify.LoopFreeIntent(f[1], p.Masked()))
+			} else {
+				out = append(out, verify.BlackholeFreeIntent(f[1], p.Masked()))
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown intent kind %q", i+1, f[0])
+		}
+	}
+	return out, nil
+}
+
+func parseFlowOpts(rest []string, in *verify.Intent) error {
+	for len(rest) >= 2 {
+		switch rest[0] {
+		case "port":
+			v, err := strconv.ParseUint(rest[1], 10, 16)
+			if err != nil {
+				return fmt.Errorf("bad port %q", rest[1])
+			}
+			in.DstPort = uint16(v)
+		case "proto":
+			if rest[1] != "tcp" && rest[1] != "udp" {
+				return fmt.Errorf("bad proto %q", rest[1])
+			}
+			in.Proto = rest[1]
+		default:
+			return fmt.Errorf("unknown option %q", rest[0])
+		}
+		rest = rest[2:]
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("trailing tokens %v", rest)
+	}
+	return nil
+}
+
+// FormatIntents renders intents in the Load format.
+func FormatIntents(intents []verify.Intent) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %d intents\n", len(intents))
+	for _, in := range intents {
+		switch in.Kind {
+		case verify.Reachability:
+			fmt.Fprintf(&sb, "reach %s %s %s", in.ID, in.SrcPrefix, in.DstPrefix)
+		case verify.Isolation:
+			fmt.Fprintf(&sb, "isolate %s %s %s", in.ID, in.SrcPrefix, in.DstPrefix)
+		case verify.Waypoint:
+			fmt.Fprintf(&sb, "waypoint %s %s %s via %s", in.ID, in.SrcPrefix, in.DstPrefix, in.Via)
+		case verify.LoopFree:
+			fmt.Fprintf(&sb, "loopfree %s %s\n", in.ID, in.DstPrefix)
+			continue
+		case verify.BlackholeFree:
+			fmt.Fprintf(&sb, "blackholefree %s %s\n", in.ID, in.DstPrefix)
+			continue
+		}
+		if in.DstPort != 0 {
+			fmt.Fprintf(&sb, " port %d", in.DstPort)
+		}
+		if in.Proto != "" {
+			fmt.Fprintf(&sb, " proto %s", in.Proto)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,143 @@
+package caseio
+
+import (
+	"net/netip"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"acr/internal/bgp"
+	"acr/internal/scenario"
+	"acr/internal/topo"
+	"acr/internal/verify"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := scenario.Figure2()
+	dir := filepath.Join(t.TempDir(), "fig2")
+	if err := Save(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Topo.NumNodes() != s.Topo.NumNodes() || len(got.Topo.Links) != len(s.Topo.Links) {
+		t.Fatalf("topology shape changed: %d/%d nodes, %d/%d links",
+			got.Topo.NumNodes(), s.Topo.NumNodes(), len(got.Topo.Links), len(s.Topo.Links))
+	}
+	// Link address allocation must be identical (declaration order).
+	for i, l := range s.Topo.Links {
+		if got.Topo.Links[i].Subnet != l.Subnet || got.Topo.Links[i].AddrA != l.AddrA {
+			t.Fatalf("link %d addressing changed", i)
+		}
+	}
+	if len(got.Intents) != len(s.Intents) {
+		t.Fatalf("intents = %d, want %d", len(got.Intents), len(s.Intents))
+	}
+	for d, cfg := range s.Configs {
+		if got.Configs[d] == nil || got.Configs[d].Text() != cfg.Text() {
+			t.Errorf("config %s changed across round trip", d)
+		}
+	}
+	// Behavioral equivalence: the loaded case still shows the incident.
+	n := bgp.Compile(got.Topo, got.Files())
+	out := bgp.Simulate(n, bgp.Options{})
+	rep := verify.Verify(n, out, got.Intents)
+	if rep.NumFailed() != 1 {
+		t.Fatalf("loaded case fails %d intents, want 1", rep.NumFailed())
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	cases := []struct{ name, text, want string }{
+		{"bad kind", "node a blimp 1 1.0.0.1\n", "unknown node kind"},
+		{"bad asn", "node a pop x 1.0.0.1\n", "bad asn"},
+		{"bad rid", "node a pop 1 zzz\n", "bad router-id"},
+		{"unknown link node", "node a pop 1 1.0.0.1\nlink a b\n", "unknown node"},
+		{"bad stmt", "frob a\n", "unknown statement"},
+		{"trailing", "node a pop 1 1.0.0.1 extra\n", "trailing"},
+		{"dup asn", "node a pop 1 1.0.0.1\nnode b pop 1 1.0.0.2\n", "ASN 1 reused"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTopology("t", tc.text)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want contains %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseTopologyOriginates(t *testing.T) {
+	tp, err := ParseTopology("t", "node a pop 1 1.0.0.1 originates 10.0.0.0/16,10.1.0.0/16\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := tp.Node("a")
+	if len(nd.Originates) != 2 || nd.Originates[0] != netip.MustParsePrefix("10.0.0.0/16") {
+		t.Fatalf("originates = %v", nd.Originates)
+	}
+	if nd.Kind != topo.PoP {
+		t.Errorf("kind = %v", nd.Kind)
+	}
+}
+
+func TestParseIntentsAllKinds(t *testing.T) {
+	text := strings.Join([]string{
+		"# comment",
+		"reach r1 10.0.0.0/16 10.1.0.0/16",
+		"reach r2 10.0.0.0/16 10.1.0.0/16 port 443 proto udp",
+		"isolate i1 10.0.0.0/16 20.0.0.0/16",
+		"waypoint w1 10.0.0.0/16 10.1.0.0/16 via scrubber port 9999",
+		"loopfree l1 10.1.0.0/16",
+		"blackholefree b1 10.1.0.0/16",
+	}, "\n")
+	intents, err := ParseIntents(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(intents) != 6 {
+		t.Fatalf("intents = %d, want 6", len(intents))
+	}
+	if intents[1].DstPort != 443 || intents[1].Proto != "udp" {
+		t.Errorf("flow opts lost: %+v", intents[1])
+	}
+	if intents[3].Kind != verify.Waypoint || intents[3].Via != "scrubber" || intents[3].DstPort != 9999 {
+		t.Errorf("waypoint intent = %+v", intents[3])
+	}
+	// Round trip through the formatter.
+	again, err := ParseIntents(FormatIntents(intents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(intents) {
+		t.Fatalf("format/parse round trip lost intents: %d vs %d", len(again), len(intents))
+	}
+	for i := range intents {
+		if again[i] != intents[i] {
+			t.Errorf("intent %d changed: %+v vs %+v", i, again[i], intents[i])
+		}
+	}
+}
+
+func TestParseIntentsErrors(t *testing.T) {
+	for _, tc := range []struct{ text, want string }{
+		{"reach r1 10.0.0.0/16\n", "usage"},
+		{"reach r1 nope 10.0.0.0/16\n", "bad prefix"},
+		{"waypoint w 10.0.0.0/16 10.1.0.0/16 thru x\n", "usage"},
+		{"hover h 10.0.0.0/16\n", "unknown intent kind"},
+		{"reach r1 10.0.0.0/16 10.1.0.0/16 port many\n", "bad port"},
+	} {
+		if _, err := ParseIntents(tc.text); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseIntents(%q) err = %v, want contains %q", tc.text, err, tc.want)
+		}
+	}
+}
+
+func TestLoadMissingFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Load(dir); err == nil {
+		t.Error("Load of empty dir should fail")
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/netcfg"
+)
+
+const classifyFixture = `bgp 65001
+ router-id 1.0.0.1
+ peer 172.16.0.2 as-number 65002
+ peer 172.16.0.2 group Side
+ peer 172.16.0.2 route-policy Pol import
+ peer-group Side route-policy Pol export
+ network 10.0.0.0/16
+ redistribute static
+route-policy Pol permit node 10
+ match ip-prefix L
+ apply local-preference 200
+ip prefix-list L index 10 permit 10.0.0.0/16
+ip route static 20.0.0.0/16 null0
+pbr policy P
+ rule 10 permit
+  match source 10.0.0.0/16
+  apply drop
+interface eth0
+ ip address 172.16.0.1/30
+ pbr policy P
+`
+
+func TestClassifyRoles(t *testing.T) {
+	f := netcfg.MustParse(netcfg.NewConfig("X", classifyFixture))
+	cases := []struct {
+		line int
+		want LineRole
+	}{
+		{1, RoleBGPHeader},
+		{2, RoleUnknown}, // router-id has no repair role
+		{3, RolePeerASN},
+		{4, RolePeerGroupMembership},
+		{5, RolePolicyAttach},
+		{6, RolePolicyAttach},
+		{7, RoleNetworkStmt},
+		{8, RoleRedistribute},
+		{9, RolePolicyNode},
+		{10, RolePolicyMatch},
+		{11, RolePolicyApply},
+		{12, RolePrefixListEntry},
+		{13, RoleStaticRoute},
+		{14, RolePBRPolicy},
+		{15, RolePBRRule},
+		{16, RolePBRRuleBody},
+		{17, RolePBRRuleBody},
+		{18, RoleInterface},
+		{19, RoleInterface},
+		{20, RoleInterface},
+	}
+	for _, tc := range cases {
+		if got := Classify(f, tc.line); got != tc.want {
+			t.Errorf("Classify(line %d %q) = %v, want %v",
+				tc.line, strings.TrimSpace(strings.Split(classifyFixture, "\n")[tc.line-1]), got, tc.want)
+		}
+	}
+}
+
+func TestClassifyNilFile(t *testing.T) {
+	if got := Classify(nil, 1); got != RoleUnknown {
+		t.Errorf("Classify(nil) = %v", got)
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	roles := []LineRole{
+		RoleBGPHeader, RolePeerASN, RolePeerGroupMembership, RoleGroupDecl,
+		RolePolicyAttach, RoleNetworkStmt, RoleRedistribute, RolePolicyNode,
+		RolePolicyMatch, RolePolicyApply, RolePrefixListEntry, RoleStaticRoute,
+		RolePBRPolicy, RolePBRRule, RolePBRRuleBody, RoleInterface,
+	}
+	seen := map[string]bool{}
+	for _, r := range roles {
+		s := r.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("role %d has bad/duplicate name %q", r, s)
+		}
+		seen[s] = true
+	}
+	if RoleUnknown.String() != "unknown" {
+		t.Error("RoleUnknown should stringify to unknown")
+	}
+}
+
+func TestClassifyGroupDecl(t *testing.T) {
+	// Explicit declaration (not via attach/membership).
+	f := netcfg.MustParse(netcfg.NewConfig("X", "bgp 1\n peer-group G external\n"))
+	if got := Classify(f, 2); got != RoleGroupDecl {
+		t.Errorf("Classify(peer-group decl) = %v", got)
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"acr/internal/bgp"
+	"acr/internal/coverage"
+	"acr/internal/netcfg"
+	"acr/internal/provenance"
+	"acr/internal/sbfl"
+	"acr/internal/topo"
+	"acr/internal/verify"
+)
+
+// Problem is a repair task: a network whose configurations violate some
+// intents.
+type Problem struct {
+	Topo    *topo.Network
+	Configs map[string]*netcfg.Config
+	Intents []verify.Intent
+}
+
+// Context is everything a change template may consult when generating
+// candidates for one configuration version: the compiled and simulated
+// network, its provenance, the verification report, and the coverage
+// spectrum. Contexts are built once per preserved candidate.
+type Context struct {
+	Topo    *topo.Network
+	Configs map[string]*netcfg.Config
+	Files   map[string]*netcfg.File
+	Net     *bgp.Net
+	Outcome *bgp.Outcome
+	Prov    *provenance.Graph
+	Report  *verify.Report
+	Matrix  *coverage.Matrix
+	Ranks   []sbfl.Score
+	// Universe is the prefix vocabulary for symbolic variables: every
+	// originated prefix plus every intent prefix.
+	Universe []netip.Prefix
+	Rand     *rand.Rand
+}
+
+// NewContext exposes context construction to the baselines and tools that
+// drive templates outside the engine loop.
+func NewContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *rand.Rand) *Context {
+	return buildContext(p, iv, formula, rng)
+}
+
+// buildContext compiles, simulates, verifies, and localizes one
+// configuration version. It reuses the incremental verifier's base state.
+func buildContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *rand.Rand) *Context {
+	ctx := &Context{
+		Topo:    p.Topo,
+		Configs: iv.BaseConfigs(),
+		Files:   iv.BaseFiles(),
+		Net:     iv.BaseNet(),
+		Outcome: iv.BaseOutcome(),
+		Prov:    iv.BaseProvenance(),
+		Report:  iv.BaseReport(),
+		Rand:    rng,
+	}
+	ctx.Matrix = coverage.Build(ctx.Net, ctx.Prov, ctx.Report)
+	ctx.Ranks = sbfl.Rank(ctx.Matrix, formula)
+	seen := map[netip.Prefix]bool{}
+	for _, pfx := range ctx.Net.AllPrefixes() {
+		if !seen[pfx] {
+			seen[pfx] = true
+			ctx.Universe = append(ctx.Universe, pfx)
+		}
+	}
+	for _, in := range p.Intents {
+		for _, pfx := range []netip.Prefix{in.SrcPrefix, in.DstPrefix} {
+			if pfx.IsValid() && !seen[pfx.Masked()] {
+				seen[pfx.Masked()] = true
+				ctx.Universe = append(ctx.Universe, pfx.Masked())
+			}
+		}
+	}
+	return ctx
+}
+
+// FailingVerdicts returns the failing verdicts of this version.
+func (ctx *Context) FailingVerdicts() []verify.Verdict { return ctx.Report.Failed() }
+
+// CoversLine reports whether the line is covered by at least one failing
+// test — templates use it to avoid proposing changes unrelated to any
+// failure.
+func (ctx *Context) CoversLine(l netcfg.LineRef) bool {
+	for _, t := range ctx.Matrix.Tests {
+		if !t.Pass && t.Lines[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// LinesOfPrefixAtDevice returns the provenance lines of prefix pfx
+// restricted to one device, as a set.
+func (ctx *Context) LinesOfPrefixAtDevice(pfx netip.Prefix, device string) map[int]bool {
+	out := map[int]bool{}
+	for _, l := range ctx.Prov.LinesForPrefix(pfx) {
+		if l.Device == device {
+			out[l.Line] = true
+		}
+	}
+	return out
+}
+
+// Update is one candidate fix: a set of line edits per device, relative to
+// the configuration version of the Context that generated it.
+type Update struct {
+	Edits []netcfg.EditSet
+	// Desc records which template produced it, anchored where — the
+	// repair report's narrative.
+	Desc string
+}
+
+// Template is one change operator family (§4.2): it decides which
+// suspicious lines it can anchor at and generates candidate updates,
+// typically by symbolizing a variable and solving its value locally.
+type Template interface {
+	Name() string
+	// ErrorClass is the Table 1 misconfiguration class this template
+	// repairs, for reports.
+	ErrorClass() string
+	// Generate produces candidates anchored at the given suspicious line
+	// (empty when the template does not apply there).
+	Generate(ctx *Context, line netcfg.LineRef) []Update
+}

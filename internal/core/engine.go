@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"acr/internal/bgp"
+	"acr/internal/netcfg"
+	"acr/internal/sbfl"
+	"acr/internal/verify"
+)
+
+// Strategy selects how candidates are generated from the suspicious set
+// (§4.2 "Generation strategy").
+type Strategy uint8
+
+// Generation strategies.
+const (
+	// Evolutionary samples template applications randomly per preserved
+	// update and merges disjoint candidates (single-point crossover in
+	// edit space) — the paper's search-based strategy.
+	Evolutionary Strategy = iota
+	// BruteForce applies every template to every suspicious statement —
+	// the Cartesian-product strategy.
+	BruteForce
+)
+
+// Options tunes the engine. Zero values select the paper's defaults.
+type Options struct {
+	Formula       sbfl.Formula // default Tarantula
+	MaxIterations int          // default 500 (the paper's cap)
+	MinSusp       float64      // suspiciousness threshold, default 0.45
+	TopKLines     int          // suspicious lines considered per version, default 24
+	PopulationCap int          // preserved updates carried per iteration, default 8
+	CandidateCap  int          // validated candidates per iteration, default 64
+	SampleSize    int          // evolutionary: proposals sampled per member, default 16
+	Strategy      Strategy
+	Seed          int64
+	Templates     []Template
+	SimOpts       bgp.Options
+	// FullValidation disables the incremental verifier (ablation).
+	FullValidation bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Formula.Fn == nil {
+		o.Formula = sbfl.Tarantula
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 500
+	}
+	if o.MinSusp == 0 {
+		o.MinSusp = 0.45
+	}
+	if o.TopKLines <= 0 {
+		o.TopKLines = 24
+	}
+	if o.PopulationCap <= 0 {
+		o.PopulationCap = 8
+	}
+	if o.CandidateCap <= 0 {
+		o.CandidateCap = 64
+	}
+	if o.SampleSize <= 0 {
+		o.SampleSize = 16
+	}
+	if o.Templates == nil {
+		o.Templates = DefaultTemplates()
+	}
+	return o
+}
+
+// IterationLog records one localize-fix-validate round.
+type IterationLog struct {
+	Iteration int
+	// Generated counts candidate updates produced by templates — the size
+	// of this iteration's search space (the leaf nodes of the search
+	// forest, Figure 3c).
+	Generated int
+	// Validated counts candidates actually checked (after dedup and caps).
+	Validated int
+	// Kept counts candidates preserved for the next iteration.
+	Kept int
+	// BestFitness is the lowest failing-test count seen this iteration.
+	BestFitness int
+	// TopSuspicious snapshots the head of the ranking (for reports).
+	TopSuspicious []sbfl.Score
+}
+
+// Result is the outcome of a repair run.
+type Result struct {
+	Feasible bool
+	// FinalConfigs are the repaired configurations (the base ones when
+	// infeasible).
+	FinalConfigs map[string]*netcfg.Config
+	// Applied describes the template applications of the feasible update,
+	// in order.
+	Applied []string
+	// Diffs renders per-device diffs of the feasible update.
+	Diffs []string
+	// Iterations actually executed.
+	Iterations int
+	// BaseFailing is the failing-test count before repair.
+	BaseFailing int
+	// Termination explains why the run ended: "feasible", "exhausted"
+	// (S = ∅), or "iteration-cap".
+	Termination string
+	Logs        []IterationLog
+	// CandidatesValidated counts all validator invocations.
+	CandidatesValidated int
+	// PrefixSimulations counts per-prefix control-plane runs performed by
+	// validation (the incremental verifier's saving shows up here).
+	PrefixSimulations int
+	// IntentChecks counts intent re-verifications.
+	IntentChecks int
+}
+
+// Summary renders the result for CLI reports.
+func (r *Result) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "feasible=%v termination=%s iterations=%d baseFailing=%d validated=%d\n",
+		r.Feasible, r.Termination, r.Iterations, r.BaseFailing, r.CandidatesValidated)
+	for _, a := range r.Applied {
+		fmt.Fprintf(&sb, "  applied: %s\n", a)
+	}
+	return sb.String()
+}
+
+// candidate is one preserved update: materialized configurations plus the
+// verification/localization state built on them.
+type candidate struct {
+	configs map[string]*netcfg.Config
+	iv      *verify.Incremental
+	ctx     *Context
+	fitness int
+	descs   []string
+}
+
+// proposal is a not-yet-preserved candidate update.
+type proposal struct {
+	parent  *candidate
+	update  Update
+	fitness int
+}
+
+// Repair runs localize–fix–validate (Figure 4) until a feasible update is
+// found, candidates are exhausted, or the iteration cap is hit.
+func Repair(p Problem, opts Options) *Result {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &Result{FinalConfigs: p.Configs, Termination: "iteration-cap"}
+
+	base := newCandidate(p, p.Configs, nil, opts, rng)
+	res.BaseFailing = base.fitness
+	if base.fitness == 0 {
+		res.Feasible = true
+		res.Termination = "feasible"
+		return res
+	}
+	pop := []*candidate{base}
+	prevFitness := base.fitness
+	// widen multiplies the suspicious-line scope. It grows when an
+	// iteration preserves nothing (every candidate made things worse) and
+	// when fitness stagnates across iterations — interacting faults can
+	// poison the constraints of the top-ranked lines' templates while the
+	// real fix sits just below a tie boundary or outside a tight TopK.
+	widen := 1
+	bestEver := base.fitness
+	stagnant := 0
+
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		res.Iterations = iter
+		log := IterationLog{Iteration: iter, BestFitness: prevFitness}
+
+		// --- Fix: generate candidates from every preserved update --------
+		var props []proposal
+		seen := map[string]bool{}
+		for _, member := range pop {
+			mProps := generate(member, opts, widen, rng)
+			log.Generated += len(mProps)
+			for _, pr := range mProps {
+				key := signature(member, pr.update)
+				if !seen[key] {
+					seen[key] = true
+					props = append(props, pr)
+				}
+			}
+		}
+		if len(pop) > 0 {
+			log.TopSuspicious = append(log.TopSuspicious,
+				sbfl.Suspicious(pop[0].ctx.Ranks, 5, opts.MinSusp)...)
+		}
+		if len(props) == 0 {
+			if widen < 8 {
+				widen *= 2
+				res.Logs = append(res.Logs, log)
+				continue
+			}
+			res.Termination = "exhausted"
+			res.Logs = append(res.Logs, log)
+			return res
+		}
+		limit := opts.CandidateCap * widen
+		if len(props) > limit {
+			if opts.Strategy == Evolutionary {
+				rng.Shuffle(len(props), func(i, j int) { props[i], props[j] = props[j], props[i] })
+			}
+			props = props[:limit]
+		}
+
+		// --- Validate -----------------------------------------------------
+		var kept []proposal
+		for i := range props {
+			pr := &props[i]
+			var rep *verify.Report
+			var err error
+			if opts.FullValidation {
+				rep, err = pr.parent.iv.FullCheck(pr.update.Edits)
+				if rep != nil {
+					res.IntentChecks += len(rep.Verdicts)
+					res.PrefixSimulations += len(pr.parent.iv.BaseNet().AllPrefixes())
+				}
+			} else {
+				var stats verify.Stats
+				rep, stats, err = pr.parent.iv.Check(pr.update.Edits)
+				res.PrefixSimulations += stats.PrefixesSimulated
+				res.IntentChecks += stats.IntentsReverified
+			}
+			if err != nil {
+				continue // malformed candidate (e.g. conflicting edits)
+			}
+			res.CandidatesValidated++
+			log.Validated++
+			pr.fitness = rep.NumFailed()
+			if pr.fitness < log.BestFitness {
+				log.BestFitness = pr.fitness
+			}
+			if pr.fitness == 0 {
+				// Feasible update found (termination condition 1).
+				final := applyUpdate(pr.parent.configs, pr.update)
+				res.Feasible = true
+				res.Termination = "feasible"
+				res.FinalConfigs = final
+				res.Applied = append(append([]string{}, pr.parent.descs...), pr.update.Desc)
+				for d, c := range final {
+					if c != p.Configs[d] {
+						res.Diffs = append(res.Diffs, netcfg.Diff(p.Configs[d], c))
+					}
+				}
+				sort.Strings(res.Diffs)
+				res.Logs = append(res.Logs, log)
+				return res
+			}
+			// Discard candidates whose fitness exceeds the previous
+			// iteration's (the paper's preservation rule).
+			if pr.fitness <= prevFitness {
+				kept = append(kept, *pr)
+			}
+		}
+		log.Kept = len(kept)
+		res.Logs = append(res.Logs, log)
+		if len(kept) == 0 {
+			if widen < 8 {
+				// Nothing preserved at this scope: widen and retry from
+				// the same population.
+				widen *= 2
+				continue
+			}
+			res.Termination = "exhausted"
+			return res
+		}
+		if log.BestFitness < bestEver {
+			bestEver = log.BestFitness
+			widen = 1
+			stagnant = 0
+		} else {
+			stagnant++
+			if stagnant >= 2 && widen < 8 {
+				// Candidates are preserved but fitness has stopped
+				// improving: the fix is probably outside the current
+				// suspicious scope.
+				widen *= 2
+				stagnant = 0
+			}
+		}
+		// --- Select the next population ------------------------------------
+		sort.SliceStable(kept, func(i, j int) bool {
+			if kept[i].fitness != kept[j].fitness {
+				return kept[i].fitness < kept[j].fitness
+			}
+			return len(kept[i].parent.descs) < len(kept[j].parent.descs)
+		})
+		if len(kept) > opts.PopulationCap {
+			kept = kept[:opts.PopulationCap]
+		}
+		next := make([]*candidate, 0, len(kept))
+		maxFit := 0
+		for _, pr := range kept {
+			c := newCandidate(p, applyUpdate(pr.parent.configs, pr.update),
+				append(append([]string{}, pr.parent.descs...), pr.update.Desc), opts, rng)
+			next = append(next, c)
+			if c.fitness > maxFit {
+				maxFit = c.fitness
+			}
+		}
+		pop = next
+		// "The fitness of an iteration is defined as the largest fitness
+		// among the preserved updates."
+		prevFitness = maxFit
+	}
+	return res
+}
+
+// generate produces this member's proposals: template applications at
+// suspicious lines, sampled under the evolutionary strategy, plus simple
+// crossovers merging disjoint-device proposals.
+func generate(member *candidate, opts Options, widen int, rng *rand.Rand) []proposal {
+	sus := sbfl.Suspicious(member.ctx.Ranks, opts.TopKLines*widen, opts.MinSusp)
+	var props []proposal
+	for _, sc := range sus {
+		for _, tmpl := range opts.Templates {
+			for _, up := range tmpl.Generate(member.ctx, sc.Line) {
+				props = append(props, proposal{parent: member, update: up})
+			}
+		}
+	}
+	if opts.Strategy == Evolutionary {
+		rng.Shuffle(len(props), func(i, j int) { props[i], props[j] = props[j], props[i] })
+		if max := opts.SampleSize * widen; len(props) > max {
+			props = props[:max]
+		}
+		// Crossover: merge pairs touching disjoint devices.
+		n := len(props)
+		for c := 0; c < 4 && n >= 2; c++ {
+			a, b := props[rng.Intn(n)], props[rng.Intn(n)]
+			if merged, ok := mergeUpdates(a.update, b.update); ok {
+				props = append(props, proposal{parent: member, update: merged})
+			}
+		}
+	}
+	return props
+}
+
+// mergeUpdates combines two updates when they touch disjoint devices.
+func mergeUpdates(a, b Update) (Update, bool) {
+	devs := map[string]bool{}
+	for _, es := range a.Edits {
+		devs[es.Device] = true
+	}
+	for _, es := range b.Edits {
+		if devs[es.Device] {
+			return Update{}, false
+		}
+	}
+	if a.Desc == b.Desc {
+		return Update{}, false
+	}
+	return Update{
+		Edits: append(append([]netcfg.EditSet{}, a.Edits...), b.Edits...),
+		Desc:  a.Desc + " + " + b.Desc,
+	}, true
+}
+
+// newCandidate fully verifies one configuration version and builds its
+// localization context.
+func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, opts Options, rng *rand.Rand) *candidate {
+	iv := verify.NewIncremental(p.Topo, configs, p.Intents, opts.SimOpts)
+	c := &candidate{
+		configs: configs,
+		iv:      iv,
+		fitness: iv.BaseReport().NumFailed(),
+		descs:   descs,
+	}
+	c.ctx = buildContext(p, iv, opts.Formula, rng)
+	return c
+}
+
+// applyUpdate materializes an update against a configuration map.
+func applyUpdate(configs map[string]*netcfg.Config, up Update) map[string]*netcfg.Config {
+	out := make(map[string]*netcfg.Config, len(configs))
+	for d, c := range configs {
+		out[d] = c
+	}
+	for _, es := range up.Edits {
+		if base, ok := out[es.Device]; ok {
+			if next, err := es.Apply(base); err == nil {
+				out[es.Device] = next
+			}
+		}
+	}
+	return out
+}
+
+// signature canonically identifies a proposal for dedup.
+func signature(parent *candidate, up Update) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%p|", parent)
+	sets := append([]netcfg.EditSet{}, up.Edits...)
+	sort.Slice(sets, func(i, j int) bool { return sets[i].Device < sets[j].Device })
+	for _, es := range sets {
+		sb.WriteString(es.String())
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"acr/internal/netcfg"
+)
+
+// Report renders a human-readable post-mortem of a repair run: what
+// failed, what the localizer pointed at, which templates were applied,
+// and the final configuration diff. The base configurations are needed to
+// quote line text in the localization table.
+func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Repair report\n\n")
+	status := "FEASIBLE UPDATE FOUND"
+	if !r.Feasible {
+		status = "NO FEASIBLE UPDATE (" + r.Termination + ")"
+	}
+	fmt.Fprintf(&sb, "result: %s\n", status)
+	fmt.Fprintf(&sb, "failing tests before repair: %d\n", r.BaseFailing)
+	fmt.Fprintf(&sb, "iterations: %d  candidates validated: %d  prefix simulations: %d  intent checks: %d\n\n",
+		r.Iterations, r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
+
+	if len(r.Logs) > 0 {
+		fmt.Fprintf(&sb, "## Iterations\n\n")
+		fmt.Fprintf(&sb, "%4s %10s %10s %6s %12s\n", "iter", "generated", "validated", "kept", "best fitness")
+		for _, lg := range r.Logs {
+			fmt.Fprintf(&sb, "%4d %10d %10d %6d %12d\n", lg.Iteration, lg.Generated, lg.Validated, lg.Kept, lg.BestFitness)
+		}
+		sb.WriteByte('\n')
+		// Localization snapshot of the first iteration.
+		first := r.Logs[0]
+		if len(first.TopSuspicious) > 0 {
+			fmt.Fprintf(&sb, "## Most suspicious lines (iteration 1)\n\n")
+			for _, s := range first.TopSuspicious {
+				text := ""
+				if cfg := baseConfigs[s.Line.Device]; cfg != nil && s.Line.Line >= 1 && s.Line.Line <= cfg.NumLines() {
+					text = strings.TrimSpace(cfg.Line(s.Line.Line))
+				}
+				fmt.Fprintf(&sb, "  %-14s susp=%.3f (failed=%d passed=%d)  %s\n",
+					s.Line, s.Susp, s.Failed, s.Passed, text)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+
+	if len(r.Applied) > 0 {
+		fmt.Fprintf(&sb, "## Applied template instances\n\n")
+		for i, a := range r.Applied {
+			fmt.Fprintf(&sb, "  %d. %s\n", i+1, a)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(r.Diffs) > 0 {
+		fmt.Fprintf(&sb, "## Configuration changes\n\n")
+		for _, d := range r.Diffs {
+			sb.WriteString(d)
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"acr/internal/netcfg"
+	"acr/internal/smt"
+)
+
+// solveListValue performs the paper's local symbolic step (§5 step 2) for
+// one prefix-list on one device: the list's membership becomes a symbolic
+// prefix-set variable; every test whose provenance shows the list's
+// policies ran at this device contributes a constraint — passing tests
+// must keep their match outcome (P), failing tests must flip theirs (¬F) —
+// and the solver returns a minimal satisfying membership.
+//
+// Returns the solved member prefixes, whether a solution exists, and a
+// human-readable constraint description for reports.
+func solveListValue(ctx *Context, device, listName string) ([]netip.Prefix, bool, string) {
+	f := ctx.Files[device]
+	if f == nil {
+		return nil, false, ""
+	}
+	entryLines := map[int]bool{}
+	for _, e := range f.PrefixListEntries(listName) {
+		entryLines[e.Line] = true
+	}
+	attachLines := attachLinesForList(f, listName)
+	if len(attachLines) == 0 && len(entryLines) == 0 {
+		return nil, false, ""
+	}
+
+	v := smt.PrefixSetVar("var")
+	// polarity[p]: +1 keep/flip-to In, -1 keep/flip-to NotIn. Failing
+	// constraints take precedence over passing ones on conflict — the
+	// validator will catch any regression a dropped P-constraint hides.
+	polarity := map[netip.Prefix]int{}
+	fromFailing := map[netip.Prefix]bool{}
+	consider := func(pass bool) {
+		for _, verdict := range ctx.Report.Verdicts {
+			if verdict.Pass != pass || !verdict.Prefix.IsValid() {
+				continue
+			}
+			devLines := ctx.LinesOfPrefixAtDevice(verdict.Prefix, device)
+			ran := false
+			for l := range attachLines {
+				if devLines[l] {
+					ran = true
+					break
+				}
+			}
+			matched := false
+			for l := range entryLines {
+				if devLines[l] {
+					matched = true
+					break
+				}
+			}
+			if !ran && !matched {
+				continue
+			}
+			want := 0
+			if pass {
+				if matched {
+					want = 1
+				} else {
+					want = -1
+				}
+			} else {
+				if matched {
+					want = -1
+				} else {
+					want = 1
+				}
+			}
+			if prev, ok := polarity[verdict.Prefix]; ok {
+				if prev != want && !pass {
+					polarity[verdict.Prefix] = want // failing overrides
+					fromFailing[verdict.Prefix] = true
+				}
+				_ = prev
+				continue
+			}
+			polarity[verdict.Prefix] = want
+			if !pass {
+				fromFailing[verdict.Prefix] = true
+			}
+		}
+	}
+	consider(false) // failing first: they take precedence
+	consider(true)
+	if len(polarity) == 0 {
+		return nil, false, ""
+	}
+	prefixes := make([]netip.Prefix, 0, len(polarity))
+	for p := range polarity {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr() != prefixes[j].Addr() {
+			return prefixes[i].Addr().Less(prefixes[j].Addr())
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	var conj []smt.Formula
+	anyFailing := false
+	for _, p := range prefixes {
+		if polarity[p] > 0 {
+			conj = append(conj, smt.In(p, v))
+		} else {
+			conj = append(conj, smt.Not(smt.In(p, v)))
+		}
+		if fromFailing[p] {
+			anyFailing = true
+		}
+	}
+	if !anyFailing {
+		// No failing test interacts with this list; rewriting it cannot fix
+		// anything.
+		return nil, false, ""
+	}
+	formula := smt.And(conj...)
+	model, ok := smt.NewProblem().Solve(formula)
+	if !ok {
+		return nil, false, smt.String(formula)
+	}
+	return model.Set("var"), true, smt.String(formula)
+}
+
+// attachLinesForList returns the lines of every policy attachment (and
+// redistribute statement) on this device whose policy matches against the
+// named list.
+func attachLinesForList(f *netcfg.File, listName string) map[int]bool {
+	policies := map[string]bool{}
+	for _, p := range f.Policies {
+		for _, m := range p.Matches {
+			if m.Kind == netcfg.MatchIPPrefix && m.PrefixList == listName {
+				policies[p.Name] = true
+			}
+		}
+	}
+	out := map[int]bool{}
+	if f.BGP != nil {
+		for _, pe := range f.BGP.Peers {
+			for _, a := range pe.Policies {
+				if policies[a.Policy] {
+					out[a.Line] = true
+				}
+			}
+		}
+		for _, g := range f.BGP.Groups {
+			for _, a := range g.Policies {
+				if policies[a.Policy] {
+					out[a.Line] = true
+				}
+			}
+		}
+		if f.BGP.Redistribute != nil && policies[f.BGP.Redistribute.Policy] {
+			out[f.BGP.Redistribute.Line] = true
+		}
+	}
+	return out
+}
+
+// rewriteListEdits turns a solved membership into line edits: existing
+// entries are rewritten to exact permits for the solved prefixes, extra
+// entries are deleted, and missing ones are inserted after the last entry.
+func rewriteListEdits(f *netcfg.File, listName string, want []netip.Prefix) []netcfg.Edit {
+	entries := f.PrefixListEntries(listName)
+	var edits []netcfg.Edit
+	n := len(entries)
+	for i, p := range want {
+		if i < n {
+			e := entries[i]
+			edits = append(edits, netcfg.ReplaceLine{
+				At:   e.Line,
+				Text: netcfg.FormatPrefixListEntry(listName, e.Index, true, p, 0, 0),
+			})
+			continue
+		}
+		after := 1
+		idx := 10 * (i + 1)
+		if n > 0 {
+			after = entries[n-1].Line + 1
+			idx = entries[n-1].Index + 10*(i-n+1)
+		}
+		edits = append(edits, netcfg.InsertBefore{
+			At:   after,
+			Text: netcfg.FormatPrefixListEntry(listName, idx, true, p, 0, 0),
+		})
+	}
+	for j := len(want); j < n; j++ {
+		edits = append(edits, netcfg.DeleteLine{At: entries[j].Line})
+	}
+	return edits
+}
+
+// listsAnchoredAt resolves which (device, list) pairs a suspicious line
+// refers to: a prefix-list entry names its own list; a policy node, match,
+// or apply line names the lists its policy matches; an attachment line
+// names the lists of the attached policy.
+func listsAnchoredAt(f *netcfg.File, line int) []string {
+	role := Classify(f, line)
+	lists := map[string]bool{}
+	switch role {
+	case RolePrefixListEntry:
+		for _, e := range f.PrefixLists {
+			if e.Line == line {
+				lists[e.Name] = true
+			}
+		}
+	case RolePolicyMatch:
+		for _, p := range f.Policies {
+			for _, m := range p.Matches {
+				if m.Line == line && m.Kind == netcfg.MatchIPPrefix {
+					lists[m.PrefixList] = true
+				}
+			}
+		}
+	case RolePolicyNode, RolePolicyApply:
+		// The policy is the semantic unit: anchor every list matched by ANY
+		// node of the policy containing this line (a traced pass-through
+		// node often sits next to the deny node whose list needs fixing).
+		var name string
+		for _, p := range f.Policies {
+			if p.Line == line || containsApply(p, line) {
+				name = p.Name
+			}
+		}
+		for _, p := range f.PolicyNodes(name) {
+			for _, m := range p.Matches {
+				if m.Kind == netcfg.MatchIPPrefix {
+					lists[m.PrefixList] = true
+				}
+			}
+		}
+	case RolePolicyAttach:
+		name := attachedPolicyAt(f, line)
+		for _, p := range f.PolicyNodes(name) {
+			for _, m := range p.Matches {
+				if m.Kind == netcfg.MatchIPPrefix {
+					lists[m.PrefixList] = true
+				}
+			}
+		}
+	}
+	out := make([]string, 0, len(lists))
+	for l := range lists {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func containsApply(p *netcfg.RoutePolicy, line int) bool {
+	for _, a := range p.Applies {
+		if a.Line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// attachedPolicyAt returns the policy name attached at the given line.
+func attachedPolicyAt(f *netcfg.File, line int) string {
+	if f.BGP == nil {
+		return ""
+	}
+	for _, pe := range f.BGP.Peers {
+		for _, a := range pe.Policies {
+			if a.Line == line {
+				return a.Policy
+			}
+		}
+	}
+	for _, g := range f.BGP.Groups {
+		for _, a := range g.Policies {
+			if a.Line == line {
+				return a.Policy
+			}
+		}
+	}
+	return ""
+}
+
+// describeEdits renders an update description.
+func describeEdits(template string, anchor netcfg.LineRef, detail string) string {
+	if detail == "" {
+		return fmt.Sprintf("%s @ %s", template, anchor)
+	}
+	return fmt.Sprintf("%s @ %s (%s)", template, anchor, detail)
+}

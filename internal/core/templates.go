@@ -1,0 +1,572 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"acr/internal/netcfg"
+	"acr/internal/smt"
+	"acr/internal/verify"
+)
+
+// DefaultTemplates returns the change-template library: one family per
+// misconfiguration class of Table 1, learned from the paper's historical
+// incident study.
+func DefaultTemplates() []Template {
+	return []Template{
+		SymbolizePrefixList{},
+		AddRedistribute{},
+		AddStaticOrigination{},
+		AddPBRPermitRule{},
+		RemovePBRRule{},
+		AddPeerToGroup{},
+		RemoveGroupMembership{},
+		RemovePolicyAttach{},
+		FixPeerASN{},
+		AttachPolicyLikePeers{},
+		CopyPolicyFromRole{},
+	}
+}
+
+// --- Table 1: "Missing items in ip prefix-list" (and the Figure 2 repair) --
+
+// SymbolizePrefixList is the paper's flagship template (§5 step 2): it
+// symbolizes the membership of a prefix-list referenced at the suspicious
+// line and solves P ∧ ¬F over the provenance-derived constraints.
+type SymbolizePrefixList struct{}
+
+// Name implements Template.
+func (SymbolizePrefixList) Name() string { return "symbolize-prefix-list" }
+
+// ErrorClass implements Template.
+func (SymbolizePrefixList) ErrorClass() string { return "Missing items in ip prefix-list" }
+
+// Generate implements Template.
+func (SymbolizePrefixList) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil {
+		return nil
+	}
+	var out []Update
+	for _, list := range listsAnchoredAt(f, line.Line) {
+		want, ok, constraints := solveListValue(ctx, line.Device, list)
+		if !ok {
+			continue
+		}
+		edits := rewriteListEdits(f, list, want)
+		if len(edits) == 0 {
+			continue
+		}
+		out = append(out, Update{
+			Edits: []netcfg.EditSet{{Device: line.Device, Edits: edits}},
+			Desc:  describeEdits("symbolize-prefix-list["+list+"]", line, constraints),
+		})
+	}
+	return out
+}
+
+// --- Table 1: "Missing redistribution of static route" ----------------------
+
+// AddRedistribute inserts `redistribute static` into a bgp block that has
+// static routes but no redistribution, when a failing test's destination
+// is covered by one of those statics.
+type AddRedistribute struct{}
+
+// Name implements Template.
+func (AddRedistribute) Name() string { return "add-redistribute-static" }
+
+// ErrorClass implements Template.
+func (AddRedistribute) ErrorClass() string { return "Missing redistribution of static route" }
+
+// Generate implements Template.
+func (AddRedistribute) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil || f.BGP.Redistribute != nil || len(f.Statics) == 0 {
+		return nil
+	}
+	switch Classify(f, line.Line) {
+	case RoleStaticRoute, RoleBGPHeader, RolePeerASN:
+	default:
+		return nil
+	}
+	relevant := false
+	for _, v := range ctx.FailingVerdicts() {
+		for _, s := range f.Statics {
+			if s.Prefix.IsValid() && v.Intent.DstPrefix.IsValid() && s.Prefix.Overlaps(v.Intent.DstPrefix) {
+				relevant = true
+			}
+		}
+	}
+	if !relevant {
+		return nil
+	}
+	return []Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+			netcfg.InsertBefore{At: f.BGP.End + 1, Text: " redistribute static"},
+		}}},
+		Desc: describeEdits("add-redistribute-static", line, ""),
+	}}
+}
+
+// AddStaticOrigination inserts a static route (and relies on an existing
+// `redistribute static`) for a failing destination prefix this device is
+// the topological origin of — the complement of AddRedistribute when the
+// static itself is the missing line.
+type AddStaticOrigination struct{}
+
+// Name implements Template.
+func (AddStaticOrigination) Name() string { return "add-static-origination" }
+
+// ErrorClass implements Template.
+func (AddStaticOrigination) ErrorClass() string { return "Missing redistribution of static route" }
+
+// Generate implements Template.
+func (AddStaticOrigination) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil || f.BGP.Redistribute == nil {
+		return nil
+	}
+	switch Classify(f, line.Line) {
+	case RoleRedistribute, RoleBGPHeader:
+	default:
+		return nil
+	}
+	cfg := ctx.Configs[line.Device]
+	var out []Update
+	for _, v := range ctx.FailingVerdicts() {
+		if v.Prefix.IsValid() {
+			continue // prefix exists somewhere; absence is not the issue
+		}
+		dst := v.Intent.DstPrefix.Masked()
+		origin := ctx.Topo.OriginOfPrefix(dst)
+		if origin == nil || origin.Name != line.Device {
+			continue
+		}
+		covered := false
+		for _, s := range f.Statics {
+			if s.Prefix == dst {
+				covered = true
+			}
+		}
+		if covered {
+			continue
+		}
+		out = append(out, Update{
+			Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+				netcfg.InsertBefore{At: cfg.NumLines() + 1, Text: fmt.Sprintf("ip route static %s null0", dst)},
+			}}},
+			Desc: describeEdits("add-static-origination["+dst.String()+"]", line, ""),
+		})
+	}
+	return out
+}
+
+// --- Table 1: "Missing permit rules in PBR" ---------------------------------
+
+// AddPBRPermitRule inserts a permit rule steering a failing waypoint
+// flow's header space to the waypoint, when the waypoint is adjacent.
+type AddPBRPermitRule struct{}
+
+// Name implements Template.
+func (AddPBRPermitRule) Name() string { return "add-pbr-permit-rule" }
+
+// ErrorClass implements Template.
+func (AddPBRPermitRule) ErrorClass() string { return "Missing permit rules in PBR" }
+
+// Generate implements Template.
+func (AddPBRPermitRule) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil {
+		return nil
+	}
+	var pol *netcfg.PBRPolicy
+	switch Classify(f, line.Line) {
+	case RolePBRPolicy, RolePBRRule, RolePBRRuleBody:
+		for _, p := range f.PBRPolicies {
+			if line.Line >= p.Line && line.Line <= p.End {
+				pol = p
+			}
+		}
+	case RoleInterface:
+		for _, itf := range f.Interfaces {
+			if line.Line >= itf.Line && line.Line <= itf.End && itf.PBRPolicy != "" {
+				pol = f.PBRPolicyByName(itf.PBRPolicy)
+			}
+		}
+	}
+	if pol == nil {
+		return nil
+	}
+	var out []Update
+	for _, v := range ctx.FailingVerdicts() {
+		if v.Intent.Kind != verify.Waypoint || v.Intent.Via == "" {
+			continue
+		}
+		// The waypoint must be adjacent to this device for a local
+		// redirect to be expressible.
+		var nh netip.Addr
+		for _, adj := range ctx.Topo.Adjacencies(line.Device) {
+			if adj.PeerNode == v.Intent.Via {
+				nh = adj.PeerAddr
+			}
+		}
+		if !nh.IsValid() {
+			continue
+		}
+		idx := 1
+		for _, r := range pol.Rules {
+			if r.Index >= idx {
+				idx = r.Index + 10
+			}
+		}
+		dst := v.Intent.DstPrefix.Masked()
+		rule := []netcfg.Edit{
+			netcfg.InsertBefore{At: pol.Line + 1, Text: fmt.Sprintf(" rule %d permit", idx)},
+			netcfg.InsertBefore{At: pol.Line + 1, Text: fmt.Sprintf("  match destination %s", dst)},
+		}
+		if v.Intent.DstPort != 0 {
+			rule = append(rule, netcfg.InsertBefore{At: pol.Line + 1, Text: fmt.Sprintf("  match dst-port %d", v.Intent.DstPort)})
+		}
+		rule = append(rule, netcfg.InsertBefore{At: pol.Line + 1, Text: fmt.Sprintf("  apply next-hop %s", nh)})
+		out = append(out, Update{
+			Edits: []netcfg.EditSet{{Device: line.Device, Edits: rule}},
+			Desc:  describeEdits("add-pbr-permit-rule["+dst.String()+"]", line, "via "+v.Intent.Via),
+		})
+	}
+	return out
+}
+
+// --- Table 1: "Extra redirect rule in PBR" -----------------------------------
+
+// RemovePBRRule deletes the PBR rule containing the suspicious line.
+type RemovePBRRule struct{}
+
+// Name implements Template.
+func (RemovePBRRule) Name() string { return "remove-pbr-rule" }
+
+// ErrorClass implements Template.
+func (RemovePBRRule) ErrorClass() string { return "Extra redirect rule in PBR" }
+
+// Generate implements Template.
+func (RemovePBRRule) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil {
+		return nil
+	}
+	switch Classify(f, line.Line) {
+	case RolePBRRule, RolePBRRuleBody:
+	default:
+		return nil
+	}
+	for _, pol := range f.PBRPolicies {
+		for _, r := range pol.Rules {
+			if line.Line < r.Line || line.Line > r.End {
+				continue
+			}
+			var edits []netcfg.Edit
+			for l := r.Line; l <= r.End; l++ {
+				edits = append(edits, netcfg.DeleteLine{At: l})
+			}
+			return []Update{{
+				Edits: []netcfg.EditSet{{Device: line.Device, Edits: edits}},
+				Desc:  describeEdits(fmt.Sprintf("remove-pbr-rule[%d]", r.Index), line, ""),
+			}}
+		}
+	}
+	return nil
+}
+
+// --- Table 1: "Missing peer group" -------------------------------------------
+
+// AddPeerToGroup inserts group membership for an ungrouped peer, one
+// candidate per existing group.
+type AddPeerToGroup struct{}
+
+// Name implements Template.
+func (AddPeerToGroup) Name() string { return "add-peer-to-group" }
+
+// ErrorClass implements Template.
+func (AddPeerToGroup) ErrorClass() string { return "Missing peer group" }
+
+// Generate implements Template.
+func (AddPeerToGroup) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil || Classify(f, line.Line) != RolePeerASN {
+		return nil
+	}
+	var peer *netcfg.Peer
+	for _, p := range f.BGP.Peers {
+		if p.ASNLine == line.Line {
+			peer = p
+		}
+	}
+	if peer == nil || peer.Group != "" {
+		return nil
+	}
+	var out []Update
+	for _, g := range f.BGP.Groups {
+		out = append(out, Update{
+			Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+				netcfg.InsertBefore{At: line.Line + 1, Text: fmt.Sprintf(" peer %s group %s", peer.Addr, g.Name)},
+			}}},
+			Desc: describeEdits("add-peer-to-group["+g.Name+"]", line, ""),
+		})
+	}
+	return out
+}
+
+// --- Table 1: "Extra items in peer group" --------------------------------------
+
+// RemoveGroupMembership deletes a `peer <ip> group <g>` line.
+type RemoveGroupMembership struct{}
+
+// Name implements Template.
+func (RemoveGroupMembership) Name() string { return "remove-group-membership" }
+
+// ErrorClass implements Template.
+func (RemoveGroupMembership) ErrorClass() string { return "Extra items in peer group" }
+
+// Generate implements Template.
+func (RemoveGroupMembership) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || Classify(f, line.Line) != RolePeerGroupMembership {
+		return nil
+	}
+	return []Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{netcfg.DeleteLine{At: line.Line}}}},
+		Desc:  describeEdits("remove-group-membership", line, ""),
+	}}
+}
+
+// --- Table 1: "Fail to dis-enable route map" -----------------------------------
+
+// RemovePolicyAttach deletes a route-policy attachment line (the leftover
+// maintenance route-map case).
+type RemovePolicyAttach struct{}
+
+// Name implements Template.
+func (RemovePolicyAttach) Name() string { return "remove-policy-attach" }
+
+// ErrorClass implements Template.
+func (RemovePolicyAttach) ErrorClass() string { return "Fail to dis-enable route map" }
+
+// Generate implements Template.
+func (RemovePolicyAttach) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || Classify(f, line.Line) != RolePolicyAttach {
+		return nil
+	}
+	return []Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{netcfg.DeleteLine{At: line.Line}}}},
+		Desc:  describeEdits("remove-policy-attach["+attachedPolicyAt(f, line.Line)+"]", line, ""),
+	}}
+}
+
+// --- Table 1: "Override to wrong AS number" -------------------------------------
+
+// FixPeerASN symbolizes the AS number of a failed session's peer stanza
+// and solves it: the only satisfying value is the neighbor's actual AS.
+type FixPeerASN struct{}
+
+// Name implements Template.
+func (FixPeerASN) Name() string { return "fix-peer-asn" }
+
+// ErrorClass implements Template.
+func (FixPeerASN) ErrorClass() string { return "Override to wrong AS number" }
+
+// Generate implements Template.
+func (FixPeerASN) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil || Classify(f, line.Line) != RolePeerASN {
+		return nil
+	}
+	var peer *netcfg.Peer
+	for _, p := range f.BGP.Peers {
+		if p.ASNLine == line.Line {
+			peer = p
+		}
+	}
+	if peer == nil {
+		return nil
+	}
+	// Only failed sessions warrant an AS fix.
+	failed := false
+	for _, fs := range ctx.Net.Failed {
+		if fs.Router == line.Device && fs.PeerAddr == peer.Addr {
+			failed = true
+		}
+	}
+	if !failed {
+		return nil
+	}
+	var neighborASN uint32
+	for _, adj := range ctx.Topo.Adjacencies(line.Device) {
+		if adj.PeerAddr == peer.Addr {
+			if nf := ctx.Files[adj.PeerNode]; nf != nil && nf.BGP != nil {
+				neighborASN = nf.BGP.ASN
+			}
+		}
+	}
+	if neighborASN == 0 || neighborASN == peer.ASN {
+		return nil
+	}
+	// The "solve": the session-establishment constraint asn = neighborASN.
+	v := smt.IntVar("asn")
+	p := smt.NewProblem()
+	p.IntDomain(v, neighborASN)
+	model, ok := p.Solve(smt.EqInt(v, neighborASN))
+	if !ok {
+		return nil
+	}
+	asn, _ := model.Int("asn")
+	return []Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+			netcfg.ReplaceLine{At: line.Line, Text: fmt.Sprintf(" peer %s as-number %d", peer.Addr, asn)},
+		}}},
+		Desc: describeEdits(fmt.Sprintf("fix-peer-asn[%d]", asn), line, ""),
+	}}
+}
+
+// --- Table 1: "Missing a routing policy" (two plastic-surgery variants) ---------
+
+// AttachPolicyLikePeers attaches a policy to a group the way same-role
+// devices do — the plastic surgery hypothesis (§6): devices sharing a role
+// share configuration shape, so a missing attachment is reconstructed
+// from a role peer.
+type AttachPolicyLikePeers struct{}
+
+// Name implements Template.
+func (AttachPolicyLikePeers) Name() string { return "attach-policy-like-peers" }
+
+// ErrorClass implements Template.
+func (AttachPolicyLikePeers) ErrorClass() string { return "Missing a routing policy" }
+
+// Generate implements Template.
+func (AttachPolicyLikePeers) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil {
+		return nil
+	}
+	switch Classify(f, line.Line) {
+	case RoleGroupDecl, RolePeerASN, RolePeerGroupMembership, RoleBGPHeader:
+	default:
+		return nil
+	}
+	kind := ctx.Topo.Node(line.Device).Kind
+	have := map[string]bool{}
+	for _, g := range f.BGP.Groups {
+		for _, a := range g.Policies {
+			have[g.Name+"|"+a.Policy+"|"+a.Direction.String()] = true
+		}
+	}
+	defined := map[string]bool{}
+	for _, p := range f.Policies {
+		defined[p.Name] = true
+	}
+	seen := map[string]bool{}
+	var out []Update
+	for _, other := range ctx.Topo.Nodes() {
+		if other.Name == line.Device || other.Kind != kind {
+			continue
+		}
+		of := ctx.Files[other.Name]
+		if of == nil || of.BGP == nil {
+			continue
+		}
+		for _, og := range of.BGP.Groups {
+			myGroup := f.GroupByName(og.Name)
+			if myGroup == nil {
+				continue
+			}
+			for _, a := range og.Policies {
+				key := og.Name + "|" + a.Policy + "|" + a.Direction.String()
+				if have[key] || seen[key] || !defined[a.Policy] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, Update{
+					Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+						netcfg.InsertBefore{
+							At:   f.BGP.End + 1,
+							Text: netcfg.FormatGroupPolicyLine(og.Name, a.Policy, a.Direction),
+						},
+					}}},
+					Desc: describeEdits("attach-policy-like-peers["+a.Policy+"]", line, "copied from "+other.Name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// CopyPolicyFromRole reconstructs a missing route-policy definition (a
+// dangling attachment) by copying the policy block — and the prefix-lists
+// it matches — from a same-role device that defines it.
+type CopyPolicyFromRole struct{}
+
+// Name implements Template.
+func (CopyPolicyFromRole) Name() string { return "copy-policy-from-role" }
+
+// ErrorClass implements Template.
+func (CopyPolicyFromRole) ErrorClass() string { return "Missing a routing policy" }
+
+// Generate implements Template.
+func (CopyPolicyFromRole) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	if f == nil || Classify(f, line.Line) != RolePolicyAttach {
+		return nil
+	}
+	name := attachedPolicyAt(f, line.Line)
+	if name == "" || len(f.PolicyNodes(name)) > 0 {
+		return nil // defined; nothing to copy
+	}
+	kind := ctx.Topo.Node(line.Device).Kind
+	cfg := ctx.Configs[line.Device]
+	for _, other := range ctx.Topo.Nodes() {
+		if other.Name == line.Device || other.Kind != kind {
+			continue
+		}
+		of := ctx.Files[other.Name]
+		if of == nil || len(of.PolicyNodes(name)) == 0 {
+			continue
+		}
+		ocfg := ctx.Configs[other.Name]
+		var lines []string
+		listsNeeded := map[string]bool{}
+		for _, node := range of.PolicyNodes(name) {
+			for l := node.Line; l <= node.End; l++ {
+				lines = append(lines, ocfg.Line(l))
+			}
+			for _, m := range node.Matches {
+				if m.Kind == netcfg.MatchIPPrefix && len(f.PrefixListEntries(m.PrefixList)) == 0 {
+					listsNeeded[m.PrefixList] = true
+				}
+			}
+		}
+		for list := range listsNeeded {
+			for _, e := range of.PrefixListEntries(list) {
+				lines = append(lines, ocfg.Line(e.Line))
+			}
+		}
+		var edits []netcfg.Edit
+		at := cfg.NumLines() + 1
+		for _, text := range lines {
+			edits = append(edits, netcfg.InsertBefore{At: at, Text: text})
+		}
+		return []Update{{
+			Edits: []netcfg.EditSet{{Device: line.Device, Edits: edits}},
+			Desc:  describeEdits("copy-policy-from-role["+name+"]", line, "copied from "+other.Name),
+		}}
+	}
+	return nil
+}
+
+// templateNames renders the registry for documentation.
+func templateNames(ts []Template) string {
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.Name()
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"acr/internal/netcfg"
+	"acr/internal/rolesim"
+)
+
+// UniversalTemplates is the §6 "universal change operators" exploration: a
+// purely syntactic operator set with no knowledge of the Table 1 incident
+// history. It can, in principle, address error classes that have never
+// occurred — at the cost the paper predicts in §4.2: raw copying ignores
+// parameter semantics ("directly copying existing configuration lines may
+// lead to conflicts ... or inconsistency"), so more candidates are junk
+// and some incidents stay unrepaired. The ablation bench quantifies this
+// against the history-derived templates.
+func UniversalTemplates() []Template {
+	return []Template{
+		DeleteSuspiciousLine{},
+		CopyFromRolePeer{},
+	}
+}
+
+// DeleteSuspiciousLine removes any single line covered by a failing test —
+// the universal "this statement is wrong, drop it" operator.
+type DeleteSuspiciousLine struct{}
+
+// Name implements Template.
+func (DeleteSuspiciousLine) Name() string { return "universal-delete-line" }
+
+// ErrorClass implements Template.
+func (DeleteSuspiciousLine) ErrorClass() string { return "universal (syntactic)" }
+
+// Generate implements Template.
+func (DeleteSuspiciousLine) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	if !ctx.CoversLine(line) {
+		return nil
+	}
+	cfg := ctx.Configs[line.Device]
+	if cfg == nil || line.Line < 1 || line.Line > cfg.NumLines() {
+		return nil
+	}
+	return []Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{netcfg.DeleteLine{At: line.Line}}}},
+		Desc:  describeEdits("universal-delete-line", line, strings.TrimSpace(cfg.Line(line.Line))),
+	}}
+}
+
+// CopyFromRolePeer inserts, verbatim, lines that a quorum of same-role
+// devices carry but this device lacks — the plastic surgery hypothesis
+// applied naively. The copied text keeps the donor's parameters (peer
+// addresses, prefixes), which is exactly the conflict/inconsistency
+// hazard §4.2 warns about; validation weeds out the resulting breakage.
+type CopyFromRolePeer struct{}
+
+// Name implements Template.
+func (CopyFromRolePeer) Name() string { return "universal-copy-from-role-peer" }
+
+// ErrorClass implements Template.
+func (CopyFromRolePeer) ErrorClass() string { return "universal (plastic surgery)" }
+
+// copyCap bounds candidates per device per iteration.
+const copyCap = 4
+
+// Generate implements Template. It anchors once per device (at any
+// suspicious line on it); duplicate candidates from multiple anchors are
+// deduplicated by the engine's edit signature.
+func (CopyFromRolePeer) Generate(ctx *Context, line netcfg.LineRef) []Update {
+	f := ctx.Files[line.Device]
+	cfg := ctx.Configs[line.Device]
+	if f == nil || cfg == nil {
+		return nil
+	}
+	missing := rolesim.MissingShapes(ctx.Topo, ctx.Configs, line.Device, 0.75)
+	var out []Update
+	for _, m := range missing {
+		if len(out) == copyCap {
+			break
+		}
+		at := cfg.NumLines() + 1
+		if strings.HasPrefix(m.Example, " ") {
+			// A block-body line: the only block this operator can place it
+			// into blindly is the bgp block.
+			if f.BGP == nil {
+				continue
+			}
+			at = f.BGP.End + 1
+		}
+		out = append(out, Update{
+			Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+				netcfg.InsertBefore{At: at, Text: m.Example},
+			}}},
+			Desc: describeEdits("universal-copy-from-role-peer",
+				netcfg.LineRef{Device: line.Device, Line: at},
+				fmt.Sprintf("%q from %s (%.0f%% of role peers)", strings.TrimSpace(m.Example), m.FromDevice, 100*m.PeerShare)),
+		})
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/core"
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+)
+
+func TestUniversalTemplatesRepairFigure2(t *testing.T) {
+	// The purely syntactic operators can fix the Figure 2 incident by
+	// deleting override machinery (no value solving needed there).
+	s := scenario.Figure2()
+	p := problemOf(s)
+	res := core.Repair(p, core.Options{
+		Strategy:  core.BruteForce,
+		Templates: core.UniversalTemplates(),
+	})
+	if !res.Feasible {
+		t.Fatalf("universal operators infeasible on figure2: %s", res.Summary())
+	}
+	checkRepaired(t, p, res)
+	if !strings.Contains(strings.Join(res.Applied, " "), "universal-") {
+		t.Errorf("applied = %v, want universal operator", res.Applied)
+	}
+}
+
+func TestUniversalCopyRepairsMissingRedistribution(t *testing.T) {
+	// With every stub using static origination, the missing
+	// `redistribute static` is a role-consensus line: the naive copy
+	// operator reconstructs it (this copy happens to be parameter-free,
+	// so it is one of the cases where plastic surgery works verbatim).
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{StaticOriginEvery: 1})
+	f := netcfg.MustParse(s.Configs["pop1"])
+	next, err := netcfg.EditSet{Edits: []netcfg.Edit{netcfg.DeleteLine{At: f.BGP.Redistribute.Line}}}.Apply(s.Configs["pop1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Configs["pop1"] = next
+	p := problemOf(s)
+	res := core.Repair(p, core.Options{
+		Strategy:  core.BruteForce,
+		Templates: core.UniversalTemplates(),
+	})
+	if !res.Feasible {
+		t.Fatalf("universal operators infeasible: %s", res.Summary())
+	}
+	found := false
+	for _, a := range res.Applied {
+		if strings.Contains(a, "universal-copy-from-role-peer") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("applied = %v, want the copy operator", res.Applied)
+	}
+	checkRepaired(t, p, res)
+}
+
+func TestUniversalFailsWhereValueSolvingIsNeeded(t *testing.T) {
+	// A wrong AS number cannot be fixed by deleting lines or copying
+	// peers' lines verbatim (the peers' stanzas carry THEIR addresses):
+	// the §4.2 conflict hazard in action. The Table 1 library (with its
+	// solved-value template) succeeds where the universal set fails.
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	f := netcfg.MustParse(s.Configs["pop0"])
+	peer := f.BGP.Peers[0]
+	next, err := netcfg.EditSet{Edits: []netcfg.Edit{netcfg.ReplaceLine{
+		At: peer.ASNLine, Text: " peer " + peer.Addr.String() + " as-number 63999",
+	}}}.Apply(s.Configs["pop0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Configs["pop0"] = next
+	p := problemOf(s)
+	uni := core.Repair(p, core.Options{
+		Strategy:  core.BruteForce,
+		Templates: core.UniversalTemplates(),
+		// Keep the run bounded; the point is that it cannot succeed.
+		MaxIterations: 8,
+	})
+	if uni.Feasible {
+		t.Log("universal operators unexpectedly repaired the wrong-ASN case:", uni.Applied)
+	}
+	full := core.Repair(p, core.Options{Strategy: core.BruteForce})
+	if !full.Feasible {
+		t.Fatalf("Table 1 templates must repair wrong-ASN: %s", full.Summary())
+	}
+	if uni.Feasible && !full.Feasible {
+		t.Error("inverted outcome")
+	}
+}

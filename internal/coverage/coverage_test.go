@@ -1,0 +1,132 @@
+package coverage_test
+
+import (
+	"testing"
+
+	"acr/internal/bgp"
+	"acr/internal/coverage"
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+	"acr/internal/verify"
+)
+
+func build(t *testing.T, s *scenario.Scenario) (*bgp.Net, *coverage.Matrix) {
+	t.Helper()
+	n := bgp.Compile(s.Topo, s.Files())
+	out := bgp.Simulate(n, bgp.Options{})
+	g := bgp.BuildProvenance(n, out)
+	rep := verify.Verify(n, out, s.Intents)
+	return n, coverage.Build(n, g, rep)
+}
+
+func TestMatrixTotals(t *testing.T) {
+	_, m := build(t, scenario.Figure2())
+	if m.TotalFailed() != 1 || m.TotalPassed() != 2 {
+		t.Fatalf("totals = %d/%d, want 1 failed / 2 passed", m.TotalFailed(), m.TotalPassed())
+	}
+	if len(m.CoveredLines()) == 0 {
+		t.Fatal("no lines covered")
+	}
+}
+
+func TestFailingTestCoversOverridePolicyOnA(t *testing.T) {
+	_, m := build(t, scenario.Figure2())
+	var failing *coverage.TestCoverage
+	for i := range m.Tests {
+		if !m.Tests[i].Pass {
+			failing = &m.Tests[i]
+		}
+	}
+	if failing == nil {
+		t.Fatal("no failing test")
+	}
+	for _, want := range []netcfg.LineRef{
+		{Device: "A", Line: scenario.FigureALineDCNImport},
+		{Device: "A", Line: scenario.FigureALinePrefixList},
+		{Device: "A", Line: scenario.FigureALinePolicy},
+		{Device: "A", Line: scenario.FigureALineOverwrite},
+		{Device: "C", Line: scenario.FigureCLineDCNImport},
+	} {
+		if !failing.Lines[want] {
+			t.Errorf("failing test does not cover %v", want)
+		}
+	}
+	// The PoP-side attachment on A is only exercised by PoP-A's prefix.
+	if failing.Lines[netcfg.LineRef{Device: "A", Line: scenario.FigureALinePoPImport}] {
+		t.Error("failing test should not cover A's PoP-side attachment")
+	}
+}
+
+func TestMissingOriginNegativeCoverage(t *testing.T) {
+	// Delete the redistribute line of a static-originating stub: the
+	// failing reachability test must cover the remaining static line.
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{StaticOriginEvery: 1})
+	f := netcfg.MustParse(s.Configs["pop0"])
+	if f.BGP.Redistribute == nil {
+		t.Fatal("pop0 does not use static origination")
+	}
+	redisLine := f.BGP.Redistribute.Line
+	staticLine := f.Statics[0].Line
+	next, err := netcfg.EditSet{Edits: []netcfg.Edit{netcfg.DeleteLine{At: redisLine}}}.Apply(s.Configs["pop0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Configs["pop0"] = next
+	_, m := build(t, s)
+	if m.TotalFailed() == 0 {
+		t.Fatal("missing redistribution caused no failures")
+	}
+	// The static line shifted up by one if it followed the redistribute
+	// line; recompute from the edited config.
+	f2 := netcfg.MustParse(s.Configs["pop0"])
+	staticLine = f2.Statics[0].Line
+	covered := false
+	for _, tc := range m.Tests {
+		if !tc.Pass && tc.Lines[netcfg.LineRef{Device: "pop0", Line: staticLine}] {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Error("failing tests do not cover the orphaned static route line (negative provenance)")
+	}
+}
+
+func TestFailedSessionNegativeCoverage(t *testing.T) {
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	f := netcfg.MustParse(s.Configs["pop1"])
+	asnLine := f.BGP.Peers[0].ASNLine
+	next, err := netcfg.EditSet{Edits: []netcfg.Edit{netcfg.ReplaceLine{
+		At:   asnLine,
+		Text: " peer " + f.BGP.Peers[0].Addr.String() + " as-number 63999",
+	}}}.Apply(s.Configs["pop1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Configs["pop1"] = next
+	n, m := build(t, s)
+	if len(n.Failed) == 0 {
+		t.Fatal("session should have failed")
+	}
+	ref := netcfg.LineRef{Device: "pop1", Line: asnLine}
+	for _, tc := range m.Tests {
+		if tc.Pass && tc.Lines[ref] {
+			t.Errorf("passing test %s covers the failed-session line", tc.ID)
+		}
+		if !tc.Pass && !tc.Lines[ref] {
+			t.Errorf("failing test %s misses the failed-session line", tc.ID)
+		}
+	}
+}
+
+func TestCountsConsistency(t *testing.T) {
+	_, m := build(t, scenario.Figure2())
+	for _, l := range m.CoveredLines() {
+		f, p := m.Counts(l)
+		if f+p == 0 {
+			t.Errorf("covered line %v has zero counts", l)
+		}
+		if f > m.TotalFailed() || p > m.TotalPassed() {
+			t.Errorf("line %v counts (%d,%d) exceed totals", l, f, p)
+		}
+	}
+}

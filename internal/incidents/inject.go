@@ -1,0 +1,378 @@
+package incidents
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acr/internal/bgp"
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+	"acr/internal/topo"
+	"acr/internal/verify"
+)
+
+// Inject builds one incident of the given class: a fresh correct scenario
+// of the appropriate substrate with the fault injected at a
+// randomly chosen (but rng-deterministic) site. The returned scenario's
+// FaultyLines are the post-injection ground truth an operator would
+// identify.
+func Inject(class ErrorClass, opts CorpusOptions, rng *rand.Rand) (*Incident, error) {
+	opts = opts.withDefaults()
+	switch class {
+	case MissingPBRPermit, ExtraPBRRedirect:
+		s := scenario.DCN(opts.FatTreeK, scenario.GenOptions{WithScrubber: true, StaticOriginEvery: 3})
+		return injectDCN(class, s, rng)
+	default:
+		s := scenario.WAN(opts.WANRouters, opts.WANPoPs, opts.WANDCNs,
+			scenario.GenOptions{StaticOriginEvery: 2, FullIsolation: true})
+		return injectWAN(class, s, rng)
+	}
+}
+
+func injectWAN(class ErrorClass, s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	switch class {
+	case MissingRedistribution:
+		return injectMissingRedistribution(s, rng)
+	case MissingPeerGroup:
+		return injectMissingPeerGroup(s, rng)
+	case ExtraPeerGroupItem:
+		return injectExtraPeerGroupItem(s, rng)
+	case MissingRoutingPolicy:
+		return injectMissingRoutingPolicy(s, rng)
+	case LeftoverRouteMap:
+		return injectLeftoverRouteMap(s, rng)
+	case WrongASNumber:
+		return injectWrongASNumber(s, rng)
+	case MissingPrefixListItem:
+		return injectMissingPrefixListItem(s, rng)
+	}
+	return nil, fmt.Errorf("class %v is not a WAN injection", class)
+}
+
+func injectDCN(class ErrorClass, s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	switch class {
+	case MissingPBRPermit:
+		return injectMissingPBRPermit(s, rng)
+	case ExtraPBRRedirect:
+		return injectExtraPBRRedirect(s, rng)
+	}
+	return nil, fmt.Errorf("class %v is not a DCN injection", class)
+}
+
+// pick selects a deterministic random element.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}
+
+// apply applies edits to one device and returns the incident skeleton.
+func apply(s *scenario.Scenario, class ErrorClass, device string, edits []netcfg.Edit, truth []netcfg.LineRef, note string) (*Incident, error) {
+	next, err := netcfg.EditSet{Device: device, Edits: edits}.Apply(s.Configs[device])
+	if err != nil {
+		return nil, err
+	}
+	s.Configs[device] = next
+	s.FaultyLines = truth
+	s.Notes = note
+	return &Incident{Class: class, Scenario: s, LinesChanged: len(edits)}, nil
+}
+
+// --- Route: missing redistribution of static route ---------------------------
+
+func injectMissingRedistribution(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	var victims []string
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.PoP && nd.Kind != topo.DCN {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		if f.BGP != nil && f.BGP.Redistribute != nil {
+			victims = append(victims, nd.Name)
+		}
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("no static-originating stubs")
+	}
+	v := pick(rng, victims)
+	f := netcfg.MustParse(s.Configs[v])
+	line := f.BGP.Redistribute.Line
+	// Ground truth after deletion: the orphaned static lines.
+	var truth []netcfg.LineRef
+	for _, st := range f.Statics {
+		l := st.Line
+		if l > line {
+			l--
+		}
+		truth = append(truth, netcfg.LineRef{Device: v, Line: l})
+	}
+	return apply(s, MissingRedistribution, v,
+		[]netcfg.Edit{netcfg.DeleteLine{At: line}}, truth,
+		"injected: deleted `redistribute static` on "+v)
+}
+
+// --- Peer: missing peer group -------------------------------------------------
+
+func injectMissingPeerGroup(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	type site struct {
+		device string
+		line   int
+	}
+	var sites []site
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.Backbone {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		if f.BGP == nil {
+			continue
+		}
+		for _, pe := range f.BGP.Peers {
+			if pe.Group == scenario.WANGroupPoPFacing && pe.GroupLine > 0 {
+				sites = append(sites, site{nd.Name, pe.GroupLine})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("no PoPFacing memberships")
+	}
+	st := pick(rng, sites)
+	// Ground truth: the remaining as-number line of that peer (one above
+	// the membership in generated configs) — the session whose group is
+	// missing.
+	truth := []netcfg.LineRef{{Device: st.device, Line: st.line - 1}}
+	return apply(s, MissingPeerGroup, st.device,
+		[]netcfg.Edit{netcfg.DeleteLine{At: st.line}}, truth,
+		"injected: deleted PoPFacing membership on "+st.device)
+}
+
+// --- Peer: extra items in peer group -------------------------------------------
+
+func injectExtraPeerGroupItem(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	type site struct {
+		device string
+		line   int
+		addr   string
+	}
+	var sites []site
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.Backbone {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		if f.BGP == nil || f.GroupByName(scenario.WANGroupPoPFacing) == nil {
+			continue
+		}
+		for _, pe := range f.BGP.Peers {
+			if pe.Group == scenario.WANGroupDCNFacing && pe.GroupLine > 0 {
+				sites = append(sites, site{nd.Name, pe.GroupLine, pe.Addr.String()})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("no router with both a DCN peer and a PoPFacing group")
+	}
+	st := pick(rng, sites)
+	truth := []netcfg.LineRef{{Device: st.device, Line: st.line}}
+	return apply(s, ExtraPeerGroupItem, st.device,
+		[]netcfg.Edit{netcfg.ReplaceLine{At: st.line, Text: " peer " + st.addr + " group " + scenario.WANGroupPoPFacing}},
+		truth, "injected: moved DCN peer into PoPFacing on "+st.device)
+}
+
+// --- Policy: missing a routing policy -------------------------------------------
+
+func injectMissingRoutingPolicy(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	var victims []string
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.Backbone {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		if g := f.GroupByName(scenario.WANGroupPoPFacing); g != nil && len(g.Policies) > 0 &&
+			len(f.PolicyNodes(scenario.WANPolicyNoLeak)) > 0 {
+			victims = append(victims, nd.Name)
+		}
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("no router with the NoLeak policy attached")
+	}
+	v := pick(rng, victims)
+	f := netcfg.MustParse(s.Configs[v])
+	var edits []netcfg.Edit
+	for _, node := range f.PolicyNodes(scenario.WANPolicyNoLeak) {
+		for l := node.Line; l <= node.End; l++ {
+			edits = append(edits, netcfg.DeleteLine{At: l})
+		}
+	}
+	// Ground truth: the now-dangling attachment line (its number after the
+	// deletions).
+	g := f.GroupByName(scenario.WANGroupPoPFacing)
+	attach := g.Policies[0].Line
+	shift := 0
+	for _, e := range edits {
+		if d, ok := e.(netcfg.DeleteLine); ok && d.At < attach {
+			shift++
+		}
+	}
+	truth := []netcfg.LineRef{{Device: v, Line: attach - shift}}
+	return apply(s, MissingRoutingPolicy, v, edits, truth,
+		"injected: deleted the NoLeakDCN policy definition on "+v)
+}
+
+// --- Policy: fail to dis-enable route map -----------------------------------------
+
+func injectLeftoverRouteMap(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	var victims []string
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind == topo.PoP || nd.Kind == topo.DCN {
+			victims = append(victims, nd.Name)
+		}
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("no stubs")
+	}
+	v := pick(rng, victims)
+	f := netcfg.MustParse(s.Configs[v])
+	peer := f.BGP.Peers[0]
+	cfg := s.Configs[v]
+	edits := []netcfg.Edit{
+		netcfg.InsertBefore{At: peer.ASNLine + 1, Text: netcfg.FormatPeerPolicyLine(peer.Addr.String(), scenario.WANPolicyMaint, netcfg.Import)},
+		netcfg.InsertBefore{At: cfg.NumLines() + 1, Text: "route-policy " + scenario.WANPolicyMaint + " deny node 10"},
+	}
+	truth := []netcfg.LineRef{{Device: v, Line: peer.ASNLine + 1}}
+	return apply(s, LeftoverRouteMap, v, edits, truth,
+		"injected: left the Maintenance deny policy attached on "+v)
+}
+
+// --- Policy: override to wrong AS number --------------------------------------------
+
+func injectWrongASNumber(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	var victims []string
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind == topo.PoP || nd.Kind == topo.DCN {
+			victims = append(victims, nd.Name)
+		}
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("no stubs")
+	}
+	v := pick(rng, victims)
+	f := netcfg.MustParse(s.Configs[v])
+	peer := f.BGP.Peers[0]
+	wrong := peer.ASN + 1000 + uint32(rng.Intn(100))
+	truth := []netcfg.LineRef{{Device: v, Line: peer.ASNLine}}
+	return apply(s, WrongASNumber, v,
+		[]netcfg.Edit{netcfg.ReplaceLine{At: peer.ASNLine, Text: fmt.Sprintf(" peer %s as-number %d", peer.Addr, wrong)}},
+		truth, "injected: wrong as-number on "+v)
+}
+
+// --- Policy: missing items in ip prefix-list -------------------------------------------
+
+func injectMissingPrefixListItem(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	type site struct {
+		device string
+		line   int
+	}
+	var sites []site
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.Backbone {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		if g := f.GroupByName(scenario.WANGroupPoPFacing); g == nil || len(g.Policies) == 0 {
+			continue
+		}
+		entries := f.PrefixListEntries(scenario.WANListDCN)
+		if len(entries) > 1 {
+			sites = append(sites, site{nd.Name, entries[rng.Intn(len(entries))].Line})
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("no multi-entry DCN prefix lists on isolating routers")
+	}
+	st := pick(rng, sites)
+	f := netcfg.MustParse(s.Configs[st.device])
+	// Ground truth: the policy attachment whose list lost the entry (the
+	// remaining entries shift by one when above the deleted line).
+	g := f.GroupByName(scenario.WANGroupPoPFacing)
+	attach := g.Policies[0].Line
+	if attach > st.line {
+		attach--
+	}
+	truth := []netcfg.LineRef{{Device: st.device, Line: attach}}
+	return apply(s, MissingPrefixListItem, st.device,
+		[]netcfg.Edit{netcfg.DeleteLine{At: st.line}}, truth,
+		"injected: removed an entry from "+scenario.WANListDCN+" on "+st.device)
+}
+
+// --- PBR: missing permit rules -----------------------------------------------------------
+
+func injectMissingPBRPermit(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	f := netcfg.MustParse(s.Configs["spine0-0"])
+	pol := f.PBRPolicyByName("Scrub")
+	if pol == nil || len(pol.Rules) == 0 {
+		return nil, fmt.Errorf("scrub policy missing")
+	}
+	r := pol.Rules[rng.Intn(len(pol.Rules))]
+	var edits []netcfg.Edit
+	for l := r.Line; l <= r.End; l++ {
+		edits = append(edits, netcfg.DeleteLine{At: l})
+	}
+	deleted := r.End - r.Line + 1
+	truth := []netcfg.LineRef{{Device: "spine0-0", Line: pol.Line}}
+	if pol.Line > r.End {
+		truth[0].Line -= deleted
+	}
+	return apply(s, MissingPBRPermit, "spine0-0", edits, truth,
+		"injected: deleted a scrubber redirect rule on spine0-0")
+}
+
+// --- PBR: extra redirect rule --------------------------------------------------------------
+
+func injectExtraPBRRedirect(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	f := netcfg.MustParse(s.Configs["spine0-0"])
+	pol := f.PBRPolicyByName("Scrub")
+	if pol == nil {
+		return nil, fmt.Errorf("scrub policy missing")
+	}
+	var leafAddr string
+	for _, adj := range s.Topo.Adjacencies("spine0-0") {
+		if adj.PeerNode == "leaf0-0" {
+			leafAddr = adj.PeerAddr.String()
+		}
+	}
+	// Redirect a victim leaf's traffic back toward its source: a loop.
+	pod0Leaves := []string{}
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind == topo.Leaf && nd.Name != "leaf0-0" && len(nd.Originates) > 0 &&
+			len(nd.Name) > 4 && nd.Name[:5] == "leaf0" {
+			pod0Leaves = append(pod0Leaves, nd.Name)
+		}
+	}
+	if len(pod0Leaves) == 0 {
+		return nil, fmt.Errorf("no pod-0 victim leaves")
+	}
+	victim := pick(rng, pod0Leaves)
+	dst := s.Topo.Node(victim).Originates[0]
+	edits := []netcfg.Edit{
+		netcfg.InsertBefore{At: pol.Line + 1, Text: " rule 5 permit"},
+		netcfg.InsertBefore{At: pol.Line + 1, Text: "  match destination " + dst.String()},
+		netcfg.InsertBefore{At: pol.Line + 1, Text: "  apply next-hop " + leafAddr},
+	}
+	truth := []netcfg.LineRef{
+		{Device: "spine0-0", Line: pol.Line + 1},
+		{Device: "spine0-0", Line: pol.Line + 2},
+		{Device: "spine0-0", Line: pol.Line + 3},
+	}
+	return apply(s, ExtraPBRRedirect, "spine0-0", edits, truth,
+		"injected: extra redirect rule bouncing "+dst.String()+" back to leaf0-0")
+}
+
+// Visible reports whether an incident's injection causes at least one
+// failing test under the scenario's intent suite.
+func Visible(inc *Incident) bool {
+	return verifyScenario(inc.Scenario).NumFailed() > 0
+}
+
+func verifyScenario(s *scenario.Scenario) *verify.Report {
+	iv := verify.NewIncremental(s.Topo, s.Configs, s.Intents, bgp.Options{})
+	return iv.BaseReport()
+}

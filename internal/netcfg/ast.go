@@ -1,0 +1,422 @@
+package netcfg
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// File is the parsed form of one device's configuration. Every node records
+// the 1-based line (and for blocks, the end line) it was parsed from, so
+// analyses can translate between semantic constructs and LineRefs.
+type File struct {
+	Device string
+
+	BGP         *BGPBlock
+	Policies    []*RoutePolicy // in file order; one entry per "node"
+	PrefixLists []*PrefixList  // in file order, grouped by name on demand
+	Statics     []*StaticRoute
+	PBRPolicies []*PBRPolicy
+	Interfaces  []*Interface
+}
+
+// BGPBlock is the `bgp <asn>` block.
+type BGPBlock struct {
+	Line, End    int
+	ASN          uint32
+	RouterID     netip.Addr
+	RouterIDLine int
+
+	Groups       []*PeerGroup
+	Peers        []*Peer
+	Networks     []*NetworkStmt
+	Redistribute *RedistributeStmt // nil when absent
+}
+
+// PeerGroup is a named peer group with optional attached policies.
+type PeerGroup struct {
+	Line     int
+	Name     string
+	External bool
+	Policies []*PolicyAttach
+}
+
+// Peer is a single BGP neighbor assembled from its `peer <ip> ...` lines.
+type Peer struct {
+	Addr      netip.Addr
+	ASN       uint32
+	ASNLine   int // line of `peer <ip> as-number <asn>`
+	Group     string
+	GroupLine int // 0 when the peer is not in a group
+	Policies  []*PolicyAttach
+}
+
+// PolicyAttach records a `... route-policy <name> (import|export)` line.
+type PolicyAttach struct {
+	Line      int
+	Policy    string
+	Direction Direction
+}
+
+// Direction distinguishes import from export policy application.
+type Direction uint8
+
+// Policy application directions.
+const (
+	Import Direction = iota
+	Export
+)
+
+// String renders the direction keyword.
+func (d Direction) String() string {
+	if d == Export {
+		return "export"
+	}
+	return "import"
+}
+
+// NetworkStmt is a `network <prefix>` origination line.
+type NetworkStmt struct {
+	Line   int
+	Prefix netip.Prefix
+}
+
+// RedistributeStmt is a `redistribute static [route-policy <name>]` line.
+type RedistributeStmt struct {
+	Line   int
+	Policy string // empty when no policy is attached
+}
+
+// RoutePolicy is one `route-policy <name> <action> node <n>` block. A policy
+// with several nodes parses into several RoutePolicy values sharing a Name;
+// nodes evaluate in ascending Node order, first matching node wins.
+type RoutePolicy struct {
+	Line, End int
+	Name      string
+	Permit    bool
+	Node      int
+	Matches   []*MatchClause
+	Applies   []*ApplyClause
+}
+
+// MatchKind enumerates match clause types.
+type MatchKind uint8
+
+// Match clause kinds.
+const (
+	MatchIPPrefix MatchKind = iota // match ip-prefix <list>
+)
+
+// MatchClause is one `match ...` line inside a route-policy node.
+type MatchClause struct {
+	Line       int
+	Kind       MatchKind
+	PrefixList string
+}
+
+// ApplyKind enumerates apply clause types.
+type ApplyKind uint8
+
+// Apply clause kinds.
+const (
+	ApplyASPathOverwrite ApplyKind = iota // apply as-path overwrite <asn>
+	ApplyASPathPrepend                    // apply as-path prepend <asn> [count]
+	ApplyLocalPref                        // apply local-preference <n>
+	ApplyMED                              // apply med <n>
+)
+
+// ApplyClause is one `apply ...` line inside a route-policy node.
+type ApplyClause struct {
+	Line  int
+	Kind  ApplyKind
+	ASN   uint32 // for as-path clauses
+	Count int    // for prepend
+	Value uint32 // for local-preference / med
+}
+
+// PrefixList is one `ip prefix-list ...` entry line. Entries with the same
+// Name form a list evaluated in ascending Index order, first match wins; a
+// list with no matching entry denies.
+type PrefixList struct {
+	Line   int
+	Name   string
+	Index  int
+	Permit bool
+	Prefix netip.Prefix
+	GE     int // 0 means unset
+	LE     int // 0 means unset
+}
+
+// Matches reports whether this single entry matches prefix p, honoring the
+// ge/le bounds: with neither, the entry matches only exactly; with bounds,
+// p must be contained in Prefix and have length within [ge, le] (a missing
+// bound defaults to the entry's own length for ge and to the max for le
+// only when ge is present — mirroring common vendor semantics).
+func (e *PrefixList) Matches(p netip.Prefix) bool {
+	if e.GE == 0 && e.LE == 0 {
+		return p == e.Prefix.Masked()
+	}
+	base := e.Prefix.Masked()
+	if !base.Contains(p.Addr()) || p.Bits() < base.Bits() {
+		return false
+	}
+	ge := e.GE
+	if ge == 0 {
+		ge = base.Bits()
+	}
+	le := e.LE
+	if le == 0 {
+		le = p.Addr().BitLen()
+	}
+	return p.Bits() >= ge && p.Bits() <= le
+}
+
+// StaticRoute is an `ip route static ...` line.
+type StaticRoute struct {
+	Line    int
+	Prefix  netip.Prefix
+	NextHop netip.Addr // invalid (zero) when Null0
+	Null0   bool
+}
+
+// PBRPolicy is a `pbr policy <name>` block.
+type PBRPolicy struct {
+	Line, End int
+	Name      string
+	Rules     []*PBRRule
+}
+
+// PBRRule is a `rule <n> (permit|deny)` block inside a PBR policy. Rules
+// evaluate in ascending Index order; the first rule whose matches all hold
+// applies. A permit rule applies its action; a deny rule exempts the packet
+// from the policy.
+type PBRRule struct {
+	Line, End int
+	Index     int
+	Permit    bool
+
+	MatchSource  *PrefixMatch // nil when absent
+	MatchDest    *PrefixMatch
+	MatchProto   *ProtoMatch
+	MatchDstPort *PortMatch
+
+	ApplyNextHop *NextHopApply
+	ApplyDrop    *DropApply
+}
+
+// PrefixMatch is a `match source|destination <prefix>` line.
+type PrefixMatch struct {
+	Line   int
+	Prefix netip.Prefix
+}
+
+// ProtoMatch is a `match protocol <tcp|udp|any>` line.
+type ProtoMatch struct {
+	Line  int
+	Proto string
+}
+
+// PortMatch is a `match dst-port <n>` line.
+type PortMatch struct {
+	Line int
+	Port uint16
+}
+
+// NextHopApply is an `apply next-hop <ip>` line.
+type NextHopApply struct {
+	Line    int
+	NextHop netip.Addr
+}
+
+// DropApply is an `apply drop` line.
+type DropApply struct {
+	Line int
+}
+
+// Interface is an `interface <name>` block.
+type Interface struct {
+	Line, End int
+	Name      string
+	Addr      netip.Prefix // invalid when no address configured
+	AddrLine  int
+	PBRPolicy string // policy applied to traffic entering this interface
+	PBRLine   int
+	Shutdown  bool
+	ShutLine  int
+}
+
+// --- lookup helpers -------------------------------------------------------
+
+// PrefixListEntries returns the entries of the named prefix list in
+// ascending index order (stable on line number for equal indexes).
+func (f *File) PrefixListEntries(name string) []*PrefixList {
+	var out []*PrefixList
+	for _, e := range f.PrefixLists {
+		if e.Name == name {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// PolicyNodes returns the nodes of the named route-policy in ascending node
+// order.
+func (f *File) PolicyNodes(name string) []*RoutePolicy {
+	var out []*RoutePolicy
+	for _, p := range f.Policies {
+		if p.Name == name {
+			out = append(out, p)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// PBRPolicy returns the named PBR policy, or nil.
+func (f *File) PBRPolicyByName(name string) *PBRPolicy {
+	for _, p := range f.PBRPolicies {
+		if p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// InterfaceByName returns the named interface block, or nil.
+func (f *File) InterfaceByName(name string) *Interface {
+	for _, i := range f.Interfaces {
+		if i.Name == name {
+			return i
+		}
+	}
+	return nil
+}
+
+// PeerByAddr returns the peer with the given neighbor address, or nil.
+func (f *File) PeerByAddr(a netip.Addr) *Peer {
+	if f.BGP == nil {
+		return nil
+	}
+	for _, p := range f.BGP.Peers {
+		if p.Addr == a {
+			return p
+		}
+	}
+	return nil
+}
+
+// GroupByName returns the named peer group, or nil.
+func (f *File) GroupByName(name string) *PeerGroup {
+	if f.BGP == nil {
+		return nil
+	}
+	for _, g := range f.BGP.Groups {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// EffectivePolicies returns the policy attachments that apply to peer p in
+// direction d: the peer's own attachments first, then its group's. This is
+// the order the simulator evaluates them in (first attachment that changes
+// or rejects the route wins per clause semantics; in practice our policies
+// are evaluated in sequence).
+func (f *File) EffectivePolicies(p *Peer, d Direction) []*PolicyAttach {
+	var out []*PolicyAttach
+	for _, a := range p.Policies {
+		if a.Direction == d {
+			out = append(out, a)
+		}
+	}
+	if p.Group != "" {
+		if g := f.GroupByName(p.Group); g != nil {
+			for _, a := range g.Policies {
+				if a.Direction == d {
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PeerSessionLines returns the LineRefs that establish the session with
+// peer p: its as-number line and, when grouped, the group membership line
+// and the group declaration line. Provenance tags route imports with these.
+func (f *File) PeerSessionLines(p *Peer) []LineRef {
+	var out []LineRef
+	if p.ASNLine > 0 {
+		out = append(out, LineRef{f.Device, p.ASNLine})
+	}
+	if p.GroupLine > 0 {
+		out = append(out, LineRef{f.Device, p.GroupLine})
+	}
+	if p.Group != "" {
+		if g := f.GroupByName(p.Group); g != nil {
+			out = append(out, LineRef{f.Device, g.Line})
+		}
+	}
+	return out
+}
+
+// Validate performs semantic checks that the parser cannot express
+// syntactically: dangling policy/prefix-list references, duplicate peer
+// definitions, interfaces without addresses that carry PBR, etc. It returns
+// a (possibly empty) list of human-readable problems; none are fatal for
+// simulation, which treats dangling references as "no match".
+func (f *File) Validate() []string {
+	var probs []string
+	addProb := func(format string, args ...any) {
+		probs = append(probs, fmt.Sprintf(format, args...))
+	}
+	policyNames := map[string]bool{}
+	for _, p := range f.Policies {
+		policyNames[p.Name] = true
+	}
+	listNames := map[string]bool{}
+	for _, e := range f.PrefixLists {
+		listNames[e.Name] = true
+	}
+	checkAttach := func(where string, as []*PolicyAttach) {
+		for _, a := range as {
+			if !policyNames[a.Policy] {
+				addProb("%s line %d: route-policy %q is not defined", where, a.Line, a.Policy)
+			}
+		}
+	}
+	if f.BGP != nil {
+		seen := map[netip.Addr]bool{}
+		for _, p := range f.BGP.Peers {
+			if seen[p.Addr] {
+				addProb("bgp: duplicate peer %s", p.Addr)
+			}
+			seen[p.Addr] = true
+			if p.Group != "" && f.GroupByName(p.Group) == nil {
+				addProb("bgp line %d: peer group %q is not declared", p.GroupLine, p.Group)
+			}
+			checkAttach("peer "+p.Addr.String(), p.Policies)
+		}
+		for _, g := range f.BGP.Groups {
+			checkAttach("peer-group "+g.Name, g.Policies)
+		}
+		if f.BGP.Redistribute != nil && f.BGP.Redistribute.Policy != "" && !policyNames[f.BGP.Redistribute.Policy] {
+			addProb("bgp line %d: redistribute route-policy %q is not defined", f.BGP.Redistribute.Line, f.BGP.Redistribute.Policy)
+		}
+	}
+	for _, p := range f.Policies {
+		for _, m := range p.Matches {
+			if m.Kind == MatchIPPrefix && !listNames[m.PrefixList] {
+				addProb("route-policy %s node %d line %d: prefix-list %q is not defined", p.Name, p.Node, m.Line, m.PrefixList)
+			}
+		}
+	}
+	for _, i := range f.Interfaces {
+		if i.PBRPolicy != "" && f.PBRPolicyByName(i.PBRPolicy) == nil {
+			addProb("interface %s line %d: pbr policy %q is not defined", i.Name, i.PBRLine, i.PBRPolicy)
+		}
+	}
+	return probs
+}

@@ -1,0 +1,53 @@
+// Package netcfg implements a vendor-style router configuration language:
+// a line-oriented, indentation-blocked grammar modeled on the configuration
+// snippet of Figure 2b in "Automatic Configuration Repair" (HotNets '24).
+//
+// The package provides:
+//
+//   - Config: an immutable, line-addressable configuration document. Every
+//     analysis in this repository (coverage, spectrum-based fault
+//     localization, change operators) is expressed in terms of
+//     (device, line-number) references, so Config keeps the raw text and
+//     all edits are line edits.
+//   - Parse: a parser producing a typed AST (File) whose every node records
+//     the 1-based line span it came from.
+//   - Builder: a programmatic constructor used by topology generators to
+//     emit well-formed configurations.
+//   - Edit / EditSet: insert, delete, and replace operations with
+//     deterministic offset handling, plus unified-style diffs for reports.
+//
+// Grammar summary (one space of indentation per block level):
+//
+//	bgp <asn>
+//	 router-id <ipv4>
+//	 peer-group <name> [external]
+//	 peer-group <name> route-policy <policy> (import|export)
+//	 peer <ip> as-number <asn>
+//	 peer <ip> group <group>
+//	 peer <ip> route-policy <policy> (import|export)
+//	 network <prefix>
+//	 redistribute static [route-policy <policy>]
+//	route-policy <name> (permit|deny) node <n>
+//	 match ip-prefix <prefix-list>
+//	 apply as-path overwrite <asn>
+//	 apply as-path prepend <asn> [count]
+//	 apply local-preference <n>
+//	 apply med <n>
+//	ip prefix-list <name> index <n> (permit|deny) <prefix> [ge <n>] [le <n>]
+//	ip route static <prefix> (next-hop <ip>|null0)
+//	pbr policy <name>
+//	 rule <n> (permit|deny)
+//	  match source <prefix>
+//	  match destination <prefix>
+//	  match protocol (tcp|udp|any)
+//	  match dst-port <n>
+//	  apply next-hop <ip>
+//	  apply drop
+//	interface <name>
+//	 ip address <prefix>
+//	 pbr policy <name>
+//	 shutdown
+//
+// Comment lines start with '#' and blank lines are permitted anywhere; both
+// are preserved (they occupy line numbers) but produce no AST nodes.
+package netcfg

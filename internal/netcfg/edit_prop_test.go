@@ -1,0 +1,166 @@
+package netcfg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomEditSet builds a valid edit set against a document of n lines:
+// distinct non-insert anchors, inserts anywhere.
+func randomEditSet(rng *rand.Rand, n int) EditSet {
+	var edits []Edit
+	// An anchor may carry several inserts OR one delete/replace, never a
+	// mix (EditSet.validate rejects that), so track both kinds.
+	usedAnchor := map[int]string{}
+	k := rng.Intn(4) + 1
+	for i := 0; i < k; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			at := rng.Intn(n+1) + 1
+			if usedAnchor[at] == "mod" {
+				continue
+			}
+			usedAnchor[at] = "ins"
+			edits = append(edits, InsertBefore{At: at, Text: fmt.Sprintf("ins%d", i)})
+		case 1:
+			at := rng.Intn(n) + 1
+			if usedAnchor[at] != "" {
+				continue
+			}
+			usedAnchor[at] = "mod"
+			edits = append(edits, DeleteLine{At: at})
+		default:
+			at := rng.Intn(n) + 1
+			if usedAnchor[at] != "" {
+				continue
+			}
+			usedAnchor[at] = "mod"
+			edits = append(edits, ReplaceLine{At: at, Text: fmt.Sprintf("rep%d", i)})
+		}
+	}
+	return EditSet{Edits: edits}
+}
+
+// Property: line-count bookkeeping — after applying a valid edit set, the
+// new length equals old + inserts − deletes.
+func TestQuickEditSetLineAccounting(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 5
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("orig%d", i)
+		}
+		c := FromLines("X", lines)
+		es := randomEditSet(rng, n)
+		ins, del := 0, 0
+		for _, e := range es.Edits {
+			switch e.(type) {
+			case InsertBefore:
+				ins++
+			case DeleteLine:
+				del++
+			}
+		}
+		out, err := es.Apply(c)
+		if err != nil {
+			return false
+		}
+		return out.NumLines() == n+ins-del
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: non-insert edits never move untouched original lines relative
+// to each other (order preservation).
+func TestQuickEditSetPreservesRelativeOrder(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%30) + 5
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("orig%d", i)
+		}
+		c := FromLines("X", lines)
+		es := randomEditSet(rng, n)
+		out, err := es.Apply(c)
+		if err != nil {
+			return false
+		}
+		// Collect surviving originals in output order; their indices must
+		// be strictly increasing.
+		last := -1
+		for _, l := range out.Lines() {
+			if !strings.HasPrefix(l, "orig") {
+				continue
+			}
+			var idx int
+			fmt.Sscanf(l, "orig%d", &idx)
+			if idx <= last {
+				return false
+			}
+			last = idx
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Diff of a config against an edited version mentions every
+// replaced line's new text.
+func TestQuickDiffMentionsChanges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12
+		lines := make([]string, n)
+		for i := range lines {
+			lines[i] = fmt.Sprintf("line-%d", i)
+		}
+		c := FromLines("X", lines)
+		at := rng.Intn(n) + 1
+		text := fmt.Sprintf("CHANGED-%d", rng.Intn(1000))
+		out, err := (EditSet{Edits: []Edit{ReplaceLine{At: at, Text: text}}}).Apply(c)
+		if err != nil {
+			return false
+		}
+		d := Diff(c, out)
+		return strings.Contains(d, text) && strings.Contains(d, fmt.Sprintf("line-%d", at-1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing is total — arbitrary text never panics, always
+// returns a usable (possibly empty) File.
+func TestQuickParseNeverPanics(t *testing.T) {
+	words := []string{"bgp", "peer", "route-policy", "ip", "prefix-list", "match",
+		"apply", "65001", "10.0.0.0/16", "1.2.3.4", "permit", "deny", "node",
+		"index", "interface", "pbr", "rule", "static", "###", ""}
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%40) + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			indent := strings.Repeat(" ", rng.Intn(3))
+			k := rng.Intn(5) + 1
+			var parts []string
+			for j := 0; j < k; j++ {
+				parts = append(parts, words[rng.Intn(len(words))])
+			}
+			sb.WriteString(indent + strings.Join(parts, " ") + "\n")
+		}
+		file, _ := Parse(NewConfig("X", sb.String()))
+		return file != nil && file.Validate() != nil || file != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,384 @@
+package netcfg
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+)
+
+const routerAText = `bgp 65001
+ router-id 1.0.0.1
+ peer-group PoPSide external
+ peer-group DCNSide external
+ peer 10.1.1.2 as-number 64601
+ peer 10.1.1.2 group PoPSide
+ peer 10.2.1.2 as-number 65004
+ peer 10.2.1.2 group DCNSide
+ peer-group DCNSide route-policy Override_All import
+ peer-group PoPSide route-policy Override_All import
+ip prefix-list default_all index 10 permit 0.0.0.0/0 le 32
+ip route static 10.70.0.0/16 next-hop 10.1.1.2
+route-policy Override_All permit node 10
+ match ip-prefix default_all
+ apply as-path overwrite 65001
+interface eth0
+ ip address 10.1.1.1/30
+`
+
+func parseA(t *testing.T) *File {
+	t.Helper()
+	cfg := NewConfig("A", routerAText)
+	f, err := Parse(cfg)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestParseBGPBlock(t *testing.T) {
+	f := parseA(t)
+	if f.BGP == nil {
+		t.Fatal("no BGP block parsed")
+	}
+	if f.BGP.ASN != 65001 {
+		t.Errorf("ASN = %d, want 65001", f.BGP.ASN)
+	}
+	if got, want := f.BGP.RouterID, netip.MustParseAddr("1.0.0.1"); got != want {
+		t.Errorf("RouterID = %v, want %v", got, want)
+	}
+	if f.BGP.Line != 1 {
+		t.Errorf("BGP.Line = %d, want 1", f.BGP.Line)
+	}
+	if f.BGP.End != 10 {
+		t.Errorf("BGP.End = %d, want 10", f.BGP.End)
+	}
+	if len(f.BGP.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(f.BGP.Groups))
+	}
+	if len(f.BGP.Peers) != 2 {
+		t.Fatalf("got %d peers, want 2", len(f.BGP.Peers))
+	}
+}
+
+func TestParsePeerAssembly(t *testing.T) {
+	f := parseA(t)
+	p := f.PeerByAddr(netip.MustParseAddr("10.1.1.2"))
+	if p == nil {
+		t.Fatal("peer 10.1.1.2 not found")
+	}
+	if p.ASN != 64601 {
+		t.Errorf("peer ASN = %d, want 64601", p.ASN)
+	}
+	if p.ASNLine != 5 {
+		t.Errorf("ASNLine = %d, want 5", p.ASNLine)
+	}
+	if p.Group != "PoPSide" || p.GroupLine != 6 {
+		t.Errorf("group = %q@%d, want PoPSide@6", p.Group, p.GroupLine)
+	}
+}
+
+func TestParseGroupPolicyAttachment(t *testing.T) {
+	f := parseA(t)
+	g := f.GroupByName("DCNSide")
+	if g == nil {
+		t.Fatal("group DCNSide not found")
+	}
+	if len(g.Policies) != 1 {
+		t.Fatalf("got %d policies on DCNSide, want 1", len(g.Policies))
+	}
+	a := g.Policies[0]
+	if a.Policy != "Override_All" || a.Direction != Import || a.Line != 9 {
+		t.Errorf("attach = %q %s @%d, want Override_All import @9", a.Policy, a.Direction, a.Line)
+	}
+}
+
+func TestEffectivePolicies(t *testing.T) {
+	f := parseA(t)
+	p := f.PeerByAddr(netip.MustParseAddr("10.2.1.2"))
+	pols := f.EffectivePolicies(p, Import)
+	if len(pols) != 1 || pols[0].Policy != "Override_All" {
+		t.Fatalf("EffectivePolicies(import) = %+v, want one Override_All", pols)
+	}
+	if got := f.EffectivePolicies(p, Export); len(got) != 0 {
+		t.Errorf("EffectivePolicies(export) = %+v, want none", got)
+	}
+}
+
+func TestParsePrefixList(t *testing.T) {
+	f := parseA(t)
+	es := f.PrefixListEntries("default_all")
+	if len(es) != 1 {
+		t.Fatalf("got %d entries, want 1", len(es))
+	}
+	e := es[0]
+	if e.Index != 10 || !e.Permit || e.LE != 32 || e.GE != 0 {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Line != 11 {
+		t.Errorf("entry line = %d, want 11", e.Line)
+	}
+	if !e.Matches(netip.MustParsePrefix("10.0.0.0/16")) {
+		t.Error("0.0.0.0/0 le 32 should match 10.0.0.0/16")
+	}
+}
+
+func TestParseStaticRoute(t *testing.T) {
+	f := parseA(t)
+	if len(f.Statics) != 1 {
+		t.Fatalf("got %d statics, want 1", len(f.Statics))
+	}
+	s := f.Statics[0]
+	if s.Prefix != netip.MustParsePrefix("10.70.0.0/16") || s.NextHop != netip.MustParseAddr("10.1.1.2") {
+		t.Errorf("static = %+v", s)
+	}
+}
+
+func TestParseRoutePolicy(t *testing.T) {
+	f := parseA(t)
+	nodes := f.PolicyNodes("Override_All")
+	if len(nodes) != 1 {
+		t.Fatalf("got %d nodes, want 1", len(nodes))
+	}
+	n := nodes[0]
+	if !n.Permit || n.Node != 10 {
+		t.Errorf("node = %+v", n)
+	}
+	if len(n.Matches) != 1 || n.Matches[0].PrefixList != "default_all" {
+		t.Errorf("matches = %+v", n.Matches)
+	}
+	if len(n.Applies) != 1 || n.Applies[0].Kind != ApplyASPathOverwrite || n.Applies[0].ASN != 65001 {
+		t.Errorf("applies = %+v", n.Applies)
+	}
+	if n.Line != 13 || n.End != 15 {
+		t.Errorf("span = [%d,%d], want [13,15]", n.Line, n.End)
+	}
+}
+
+func TestParseInterface(t *testing.T) {
+	f := parseA(t)
+	itf := f.InterfaceByName("eth0")
+	if itf == nil {
+		t.Fatal("interface eth0 not found")
+	}
+	if itf.Addr != netip.MustParsePrefix("10.1.1.1/30") {
+		t.Errorf("addr = %v", itf.Addr)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	text := "# header comment\n\nbgp 100\n # inner comment\n router-id 9.9.9.9\n\nip route static 1.0.0.0/8 null0\n"
+	f, err := Parse(NewConfig("X", text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.BGP == nil || f.BGP.ASN != 100 {
+		t.Fatalf("BGP = %+v", f.BGP)
+	}
+	if f.BGP.RouterIDLine != 5 {
+		t.Errorf("RouterIDLine = %d, want 5 (comments occupy lines)", f.BGP.RouterIDLine)
+	}
+	if len(f.Statics) != 1 || !f.Statics[0].Null0 {
+		t.Errorf("statics = %+v", f.Statics)
+	}
+}
+
+func TestParsePBR(t *testing.T) {
+	text := strings.Join([]string{
+		"pbr policy FromDCN",
+		" rule 10 permit",
+		"  match source 10.0.0.0/16",
+		"  match protocol tcp",
+		"  match dst-port 443",
+		"  apply next-hop 10.2.1.2",
+		" rule 20 deny",
+		"  match destination 20.0.0.0/16",
+		"interface eth1",
+		" ip address 10.9.9.1/30",
+		" pbr policy FromDCN",
+	}, "\n")
+	f, err := Parse(NewConfig("X", text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	pol := f.PBRPolicyByName("FromDCN")
+	if pol == nil {
+		t.Fatal("policy FromDCN not found")
+	}
+	if len(pol.Rules) != 2 {
+		t.Fatalf("got %d rules, want 2", len(pol.Rules))
+	}
+	r := pol.Rules[0]
+	if !r.Permit || r.Index != 10 {
+		t.Errorf("rule0 = %+v", r)
+	}
+	if r.MatchSource == nil || r.MatchSource.Prefix != netip.MustParsePrefix("10.0.0.0/16") {
+		t.Errorf("rule0 source = %+v", r.MatchSource)
+	}
+	if r.MatchProto == nil || r.MatchProto.Proto != "tcp" {
+		t.Errorf("rule0 proto = %+v", r.MatchProto)
+	}
+	if r.MatchDstPort == nil || r.MatchDstPort.Port != 443 {
+		t.Errorf("rule0 port = %+v", r.MatchDstPort)
+	}
+	if r.ApplyNextHop == nil || r.ApplyNextHop.NextHop != netip.MustParseAddr("10.2.1.2") {
+		t.Errorf("rule0 next-hop = %+v", r.ApplyNextHop)
+	}
+	if pol.Rules[1].Permit {
+		t.Error("rule 20 should be deny")
+	}
+	itf := f.InterfaceByName("eth1")
+	if itf == nil || itf.PBRPolicy != "FromDCN" {
+		t.Errorf("interface binding = %+v", itf)
+	}
+}
+
+func TestParseErrorsAreReported(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"unknown top-level", "frobnicate 1\n", "unknown top-level keyword"},
+		{"bad asn", "bgp zero\n", "invalid AS number"},
+		{"bad prefix", "ip route static 10.0.0.300/16 null0\n", "invalid prefix"},
+		{"bad direction", "bgp 1\n peer 1.1.1.1 route-policy P inward\n", "direction must be import or export"},
+		{"stray indent", " lonely\n", "unexpected indentation"},
+		{"bad prefix-list", "ip prefix-list L 10 permit 1.0.0.0/8\n", "usage: ip prefix-list"},
+		{"bad pbr proto", "pbr policy P\n rule 1 permit\n  match protocol icmp\n", "protocol must be"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(NewConfig("X", tc.text))
+			if err == nil {
+				t.Fatal("Parse succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParsePartialResultOnError(t *testing.T) {
+	text := "bgp 100\n router-id 1.1.1.1\nbogus line here\nip route static 9.0.0.0/8 null0\n"
+	f, err := Parse(NewConfig("X", text))
+	if err == nil {
+		t.Fatal("want error for bogus line")
+	}
+	if f.BGP == nil || len(f.Statics) != 1 {
+		t.Errorf("partial parse lost good statements: bgp=%v statics=%d", f.BGP != nil, len(f.Statics))
+	}
+}
+
+func TestValidateDanglingReferences(t *testing.T) {
+	text := strings.Join([]string{
+		"bgp 100",
+		" peer 1.1.1.1 as-number 200",
+		" peer 1.1.1.1 route-policy NoSuchPolicy import",
+		"route-policy P permit node 10",
+		" match ip-prefix NoSuchList",
+		"interface eth0",
+		" pbr policy NoSuchPBR",
+	}, "\n")
+	f, err := Parse(NewConfig("X", text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	probs := f.Validate()
+	wantSubs := []string{"NoSuchPolicy", "NoSuchList", "NoSuchPBR"}
+	for _, w := range wantSubs {
+		found := false
+		for _, p := range probs {
+			if strings.Contains(p, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Validate() missing problem mentioning %q; got %v", w, probs)
+		}
+	}
+}
+
+func TestValidateCleanConfig(t *testing.T) {
+	f := parseA(t)
+	if probs := f.Validate(); len(probs) != 0 {
+		t.Errorf("Validate() = %v, want none", probs)
+	}
+}
+
+func TestPrefixListMatchesSemantics(t *testing.T) {
+	mk := func(p string, ge, le int) *PrefixList {
+		return &PrefixList{Prefix: netip.MustParsePrefix(p), GE: ge, LE: le, Permit: true}
+	}
+	cases := []struct {
+		entry *PrefixList
+		probe string
+		want  bool
+	}{
+		{mk("0.0.0.0/0", 0, 32), "10.0.0.0/16", true},
+		{mk("0.0.0.0/0", 0, 32), "0.0.0.0/0", true},
+		{mk("0.0.0.0/0", 0, 0), "10.0.0.0/16", false}, // exact-match only
+		{mk("0.0.0.0/0", 0, 0), "0.0.0.0/0", true},
+		{mk("10.0.0.0/8", 16, 24), "10.1.0.0/16", true},
+		{mk("10.0.0.0/8", 16, 24), "10.0.0.0/8", false},  // shorter than ge
+		{mk("10.0.0.0/8", 16, 24), "10.1.2.0/25", false}, // longer than le
+		{mk("10.0.0.0/8", 16, 24), "11.1.0.0/16", false}, // outside base
+		{mk("10.70.0.0/16", 0, 0), "10.70.0.0/16", true},
+		{mk("10.70.0.0/16", 0, 0), "10.70.1.0/24", false},
+	}
+	for _, tc := range cases {
+		got := tc.entry.Matches(netip.MustParsePrefix(tc.probe))
+		if got != tc.want {
+			t.Errorf("entry %v ge=%d le=%d Matches(%s) = %v, want %v",
+				tc.entry.Prefix, tc.entry.GE, tc.entry.LE, tc.probe, got, tc.want)
+		}
+	}
+}
+
+func TestPolicyNodesOrdering(t *testing.T) {
+	text := strings.Join([]string{
+		"route-policy P permit node 20",
+		" match ip-prefix L2",
+		"route-policy P deny node 10",
+		" match ip-prefix L1",
+	}, "\n")
+	f, err := Parse(NewConfig("X", text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	nodes := f.PolicyNodes("P")
+	if len(nodes) != 2 || nodes[0].Node != 10 || nodes[1].Node != 20 {
+		t.Fatalf("nodes misordered: %+v", nodes)
+	}
+	if nodes[0].Permit {
+		t.Error("node 10 should be deny")
+	}
+}
+
+func TestPrefixListEntriesOrdering(t *testing.T) {
+	text := "ip prefix-list L index 20 permit 2.0.0.0/8\nip prefix-list L index 5 permit 1.0.0.0/8\nip prefix-list M index 1 deny 3.0.0.0/8\n"
+	f, err := Parse(NewConfig("X", text))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	es := f.PrefixListEntries("L")
+	if len(es) != 2 || es[0].Index != 5 || es[1].Index != 20 {
+		t.Fatalf("entries misordered: %+v", es)
+	}
+}
+
+func TestPeerSessionLines(t *testing.T) {
+	f := parseA(t)
+	p := f.PeerByAddr(netip.MustParseAddr("10.2.1.2"))
+	refs := f.PeerSessionLines(p)
+	want := map[int]bool{7: true, 8: true, 4: true} // as-number, group membership, group decl
+	if len(refs) != 3 {
+		t.Fatalf("got %d refs (%v), want 3", len(refs), refs)
+	}
+	for _, r := range refs {
+		if r.Device != "A" || !want[r.Line] {
+			t.Errorf("unexpected ref %v", r)
+		}
+	}
+}

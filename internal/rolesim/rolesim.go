@@ -1,0 +1,265 @@
+// Package rolesim quantifies the paper's §6 hypothesis for ACR — the
+// plastic surgery hypothesis transplanted to networks: "devices in DCNs
+// are grouped into several roles, and devices with the same role often
+// have similar configurations". It normalizes configuration lines
+// (parameters like addresses, prefixes, AS numbers, and indexes become
+// placeholders), measures Jaccard similarity between devices' normalized
+// line sets, and aggregates intra-role vs inter-role similarity. A large
+// intra/inter gap is what makes copy-from-role-peer repair templates
+// plausible.
+package rolesim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+
+	"acr/internal/netcfg"
+	"acr/internal/topo"
+)
+
+// NormalizeLine abstracts a configuration line to its syntactic shape:
+// IP addresses and prefixes become <addr>/<prefix>, numbers become <n>,
+// and free-form names (policy/list/group identifiers) are preserved —
+// they encode role semantics ("Override_All", "PoPFacing").
+func NormalizeLine(line string) string {
+	fields := strings.Fields(line)
+	for i, f := range fields {
+		switch {
+		case isPrefix(f):
+			fields[i] = "<prefix>"
+		case isAddr(f):
+			fields[i] = "<addr>"
+		case isNumber(f):
+			fields[i] = "<n>"
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+func isPrefix(s string) bool {
+	_, err := netip.ParsePrefix(s)
+	return err == nil
+}
+
+func isAddr(s string) bool {
+	_, err := netip.ParseAddr(s)
+	return err == nil
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseUint(s, 10, 64)
+	return err == nil
+}
+
+// Shape is a device's normalized line set.
+type Shape map[string]bool
+
+// ShapeOf computes the normalized line set of a configuration (blank and
+// comment lines ignored).
+func ShapeOf(c *netcfg.Config) Shape {
+	s := Shape{}
+	for i := 1; i <= c.NumLines(); i++ {
+		line := strings.TrimSpace(c.Line(i))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s[NormalizeLine(line)] = true
+	}
+	return s
+}
+
+// Jaccard computes |a∩b| / |a∪b| (1.0 for two empty shapes).
+func Jaccard(a, b Shape) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1.0
+	}
+	inter := 0
+	for l := range a {
+		if b[l] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// RoleReport aggregates similarity for one role.
+type RoleReport struct {
+	Role    topo.Kind
+	Devices int
+	// IntraMean is the mean pairwise Jaccard similarity within the role.
+	IntraMean float64
+	// InterMean is the mean similarity between this role's devices and
+	// all other roles' devices.
+	InterMean float64
+}
+
+// Gap is the hypothesis signal: intra-role minus inter-role similarity.
+func (r RoleReport) Gap() float64 { return r.IntraMean - r.InterMean }
+
+// Report is the whole-network analysis.
+type Report struct {
+	Roles []RoleReport
+}
+
+// Supported reports whether every multi-device role is more similar
+// within than across (the hypothesis holds), requiring a minimum gap.
+func (r *Report) Supported(minGap float64) bool {
+	any := false
+	for _, role := range r.Roles {
+		if role.Devices < 2 {
+			continue
+		}
+		any = true
+		if role.Gap() < minGap {
+			return false
+		}
+	}
+	return any
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %8s %12s %12s %8s\n", "role", "devices", "intra-Jacc", "inter-Jacc", "gap")
+	for _, role := range r.Roles {
+		fmt.Fprintf(&sb, "%-10s %8d %12.3f %12.3f %+8.3f\n",
+			role.Role, role.Devices, role.IntraMean, role.InterMean, role.Gap())
+	}
+	return sb.String()
+}
+
+// Analyze computes the role-similarity report for a network's configs.
+func Analyze(t *topo.Network, configs map[string]*netcfg.Config) *Report {
+	shapes := map[string]Shape{}
+	byRole := map[topo.Kind][]string{}
+	for _, nd := range t.Nodes() {
+		c, ok := configs[nd.Name]
+		if !ok {
+			continue
+		}
+		shapes[nd.Name] = ShapeOf(c)
+		byRole[nd.Kind] = append(byRole[nd.Kind], nd.Name)
+	}
+	roles := make([]topo.Kind, 0, len(byRole))
+	for k := range byRole {
+		roles = append(roles, k)
+	}
+	sort.Slice(roles, func(i, j int) bool { return roles[i] < roles[j] })
+
+	rep := &Report{}
+	for _, role := range roles {
+		devs := byRole[role]
+		rr := RoleReport{Role: role, Devices: len(devs)}
+		intraN, interN := 0, 0
+		for i, a := range devs {
+			for _, b := range devs[i+1:] {
+				rr.IntraMean += Jaccard(shapes[a], shapes[b])
+				intraN++
+			}
+			for _, other := range roles {
+				if other == role {
+					continue
+				}
+				for _, b := range byRole[other] {
+					rr.InterMean += Jaccard(shapes[a], shapes[b])
+					interN++
+				}
+			}
+		}
+		if intraN > 0 {
+			rr.IntraMean /= float64(intraN)
+		} else {
+			rr.IntraMean = 1.0 // single device: trivially self-similar
+		}
+		if interN > 0 {
+			rr.InterMean /= float64(interN)
+		}
+		rep.Roles = append(rep.Roles, rr)
+	}
+	return rep
+}
+
+// MissingShapes returns, for a device, the normalized lines present on at
+// least `quorum` fraction of its role peers but absent from it — the raw
+// material of plastic-surgery repair (and of the universal
+// copy-from-role-peer operator). Each returned entry carries a concrete
+// example line from a peer that has it.
+func MissingShapes(t *topo.Network, configs map[string]*netcfg.Config, device string, quorum float64) []MissingShape {
+	nd := t.Node(device)
+	if nd == nil || configs[device] == nil {
+		return nil
+	}
+	mine := ShapeOf(configs[device])
+	occ := map[string]*occur{}
+	peers := 0
+	for _, other := range t.Nodes() {
+		if other.Name == device || other.Kind != nd.Kind || configs[other.Name] == nil {
+			continue
+		}
+		peers++
+		c := configs[other.Name]
+		seen := map[string]bool{}
+		for i := 1; i <= c.NumLines(); i++ {
+			raw := c.Line(i)
+			line := strings.TrimSpace(raw)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			norm := NormalizeLine(line)
+			if seen[norm] {
+				continue
+			}
+			seen[norm] = true
+			o := occ[norm]
+			if o == nil {
+				o = &occur{example: raw, device: other.Name}
+				occ[norm] = o
+			}
+			o.count++
+		}
+	}
+	if peers == 0 {
+		return nil
+	}
+	var out []MissingShape
+	for norm, o := range occ {
+		if mine[norm] {
+			continue
+		}
+		if float64(o.count)/float64(peers) >= quorum {
+			out = append(out, MissingShape{
+				Normalized: norm,
+				Example:    o.example,
+				FromDevice: o.device,
+				PeerShare:  float64(o.count) / float64(peers),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PeerShare != out[j].PeerShare {
+			return out[i].PeerShare > out[j].PeerShare
+		}
+		return out[i].Normalized < out[j].Normalized
+	})
+	return out
+}
+
+// occur tracks how many role peers carry a normalized line, with one
+// concrete example.
+type occur struct {
+	count   int
+	example string
+	device  string
+}
+
+// MissingShape is one role-consensus line a device lacks.
+type MissingShape struct {
+	Normalized string
+	Example    string
+	FromDevice string
+	PeerShare  float64
+}

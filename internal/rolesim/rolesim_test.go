@@ -1,0 +1,113 @@
+package rolesim
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+	"acr/internal/topo"
+)
+
+func TestNormalizeLine(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{" peer 172.16.0.2 as-number 65002", "peer <addr> as-number <n>"},
+		{"ip prefix-list L index 10 permit 10.0.0.0/16", "ip prefix-list L index <n> permit <prefix>"},
+		{" apply as-path overwrite 65001", "apply as-path overwrite <n>"},
+		{"route-policy Override_All permit node 10", "route-policy Override_All permit node <n>"},
+		{" ip address 172.16.0.1/30", "ip address <prefix>"},
+		{"redistribute static", "redistribute static"},
+	}
+	for _, tc := range cases {
+		if got := NormalizeLine(tc.in); got != tc.want {
+			t.Errorf("NormalizeLine(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := Shape{"x": true, "y": true}
+	b := Shape{"y": true, "z": true}
+	if got := Jaccard(a, b); got != 1.0/3.0 {
+		t.Errorf("Jaccard = %v, want 1/3", got)
+	}
+	if Jaccard(a, a) != 1.0 {
+		t.Error("self similarity != 1")
+	}
+	if Jaccard(Shape{}, Shape{}) != 1.0 {
+		t.Error("empty-empty != 1")
+	}
+	if Jaccard(a, Shape{}) != 0.0 {
+		t.Error("disjoint with empty != 0")
+	}
+}
+
+// TestHypothesisHoldsInFatTree is §6's hypothesis, measured: fat-tree
+// devices of the same role are substantially more similar to each other
+// than to other roles.
+func TestHypothesisHoldsInFatTree(t *testing.T) {
+	s := scenario.DCN(6, scenario.GenOptions{StaticOriginEvery: 0})
+	rep := Analyze(s.Topo, s.Configs)
+	if !rep.Supported(0.05) {
+		t.Fatalf("plastic surgery hypothesis not supported:\n%s", rep)
+	}
+	for _, rr := range rep.Roles {
+		if rr.Role == topo.Leaf && rr.IntraMean < 0.8 {
+			t.Errorf("leaf intra-similarity = %.3f, want high", rr.IntraMean)
+		}
+	}
+	t.Logf("\n%s", rep)
+}
+
+func TestHypothesisWANRoles(t *testing.T) {
+	s := scenario.WAN(8, 4, 3, scenario.GenOptions{StaticOriginEvery: 2})
+	rep := Analyze(s.Topo, s.Configs)
+	var bb RoleReport
+	for _, rr := range rep.Roles {
+		if rr.Role == topo.Backbone {
+			bb = rr
+		}
+	}
+	if bb.Devices == 0 || bb.Gap() <= 0 {
+		t.Errorf("backbone gap = %+.3f, want positive:\n%s", bb.Gap(), rep)
+	}
+}
+
+func TestMissingShapesDetectsDeletedLine(t *testing.T) {
+	s := scenario.DCN(4, scenario.GenOptions{StaticOriginEvery: 0})
+	// Delete leaf1-1's network statement; role peers all have one.
+	f := netcfg.MustParse(s.Configs["leaf1-1"])
+	next, err := netcfg.EditSet{Edits: []netcfg.Edit{netcfg.DeleteLine{At: f.BGP.Networks[0].Line}}}.Apply(s.Configs["leaf1-1"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Configs["leaf1-1"] = next
+	missing := MissingShapes(s.Topo, s.Configs, "leaf1-1", 0.9)
+	found := false
+	for _, m := range missing {
+		if strings.Contains(m.Normalized, "network") {
+			found = true
+			if m.Example == "" || m.FromDevice == "" || m.PeerShare < 0.9 {
+				t.Errorf("missing shape metadata incomplete: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("deleted network statement not detected; missing = %+v", missing)
+	}
+}
+
+func TestMissingShapesNoneForConformingDevice(t *testing.T) {
+	s := scenario.DCN(4, scenario.GenOptions{StaticOriginEvery: 0})
+	missing := MissingShapes(s.Topo, s.Configs, "leaf1-1", 0.9)
+	if len(missing) != 0 {
+		t.Errorf("conforming device reported missing shapes: %+v", missing)
+	}
+}
+
+func TestMissingShapesUnknownDevice(t *testing.T) {
+	s := scenario.DCN(4, scenario.GenOptions{})
+	if got := MissingShapes(s.Topo, s.Configs, "nope", 0.5); got != nil {
+		t.Errorf("unknown device = %v", got)
+	}
+}

@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"fmt"
+	"net/netip"
+
+	"acr/internal/netcfg"
+	"acr/internal/topo"
+	"acr/internal/verify"
+)
+
+// Prefixes of the Figure 2 network.
+var (
+	PrefixPoPA = netip.MustParsePrefix("10.70.0.0/16") // PoP attached to A
+	PrefixPoPB = netip.MustParsePrefix("10.0.0.0/16")  // PoP attached to B — the flapping prefix
+	PrefixDCNS = netip.MustParsePrefix("20.0.0.0/16")  // DCN attached to S
+)
+
+// Line anchors in router A's Figure 2b configuration. The layout is built
+// so the paper's references hold exactly: line 9 is the DCN-side import
+// attachment (Tarantula 0.67 in §5 step 1), line 11 the overbroad
+// prefix-list entry the repair rewrites, lines 13-16 the as-path override
+// policy, and lines 1 and 15 carry the router's AS number.
+const (
+	FigureALineBGP        = 1  // bgp 65001
+	FigureALineDCNImport  = 9  // peer-group DCNSide route-policy Override_All import
+	FigureALinePoPImport  = 10 // peer-group PoPSide route-policy Override_All import
+	FigureALinePrefixList = 11 // ip prefix-list default_all index 10 permit 0.0.0.0/0 le 32
+	FigureALinePolicy     = 13 // route-policy Override_All permit node 10
+	FigureALineOverwrite  = 15 // apply as-path overwrite 65001
+)
+
+// Line anchors in router C's configuration.
+const (
+	FigureCLineDCNImport  = 7 // peer-group DCNSide route-policy Override_All import
+	FigureCLinePrefixList = 8 // ip prefix-list default_all index 10 permit 0.0.0.0/0 le 32
+)
+
+// Figure2 builds the worked incident of the paper: the four-router
+// backbone with the newly added S–C session, AS-path override policies on
+// A and C whose prefix-lists match everything (the misconfiguration), and
+// correctly restricted override policies on B and S. Under simulation,
+// prefix 10.0.0.0/16 flaps (it has no stable routing state) and the
+// DCN-S → PoP-B reachability intent is the only failing test of three.
+func Figure2() *Scenario {
+	t := topo.ExampleGraph(true)
+	s := &Scenario{
+		Name:    "figure2-incident",
+		Topo:    t,
+		Configs: map[string]*netcfg.Config{},
+		Notes: "HotNets'24 ACR §2.2 example: override policies on A and C rewrite " +
+			"AS_PATH of all routes received from the DCN side, disabling BGP loop " +
+			"prevention and creating a route flap for 10.0.0.0/16.",
+	}
+	s.Configs["A"] = figure2RouterA(t, true)
+	s.Configs["B"] = figure2RouterB(t)
+	s.Configs["C"] = figure2RouterC(t, true)
+	s.Configs["S"] = figure2RouterS(t)
+	s.Configs["PoP-A"] = stubConfig(t, "PoP-A", false)
+	s.Configs["PoP-B"] = stubConfig(t, "PoP-B", false)
+	s.Configs["DCN-S"] = stubConfig(t, "DCN-S", false)
+	s.Intents = Figure2Intents()
+	s.FaultyLines = []netcfg.LineRef{
+		{Device: "A", Line: FigureALinePrefixList},
+		{Device: "C", Line: FigureCLinePrefixList},
+	}
+	return s
+}
+
+// Figure2Correct builds the same network with the repaired prefix-lists
+// (the operators' fix from §2.2: the match-everything entries restricted
+// to the prefixes that legitimately need rewriting). Every intent passes.
+func Figure2Correct() *Scenario {
+	s := Figure2()
+	s.Name = "figure2-repaired"
+	s.Configs["A"] = figure2RouterA(s.Topo, false)
+	s.Configs["C"] = figure2RouterC(s.Topo, false)
+	s.FaultyLines = nil
+	s.Notes = "Figure 2 network with the operators' repair applied."
+	return s
+}
+
+// Figure2Intents returns the three test properties of the worked example —
+// one per subnetwork, as in the coverage table of Figure 2b. The
+// DCN-S → PoP-B intent is the new requirement that triggered the incident.
+func Figure2Intents() []verify.Intent {
+	return []verify.Intent{
+		verify.ReachIntent("reach-pop-a", PrefixDCNS, PrefixPoPA),
+		verify.ReachIntent("reach-pop-b", PrefixDCNS, PrefixPoPB),
+		verify.ReachIntent("reach-dcn-s", PrefixPoPA, PrefixDCNS),
+	}
+}
+
+// figure2RouterA emits router A's configuration; faulty selects the
+// original overbroad prefix-list (line 11), otherwise the repaired one.
+func figure2RouterA(t *topo.Network, faulty bool) *netcfg.Config {
+	aB := adjacencyAddr(t, "A", "B")
+	aPoP := adjacencyAddr(t, "A", "PoP-A")
+	aS := adjacencyAddr(t, "A", "S")
+	b := netcfg.NewBuilder("A")
+	g := b.BGP(65001). // line 1
+				RouterID(netip.MustParseAddr("1.0.0.1")).              // line 2
+				Peer(aB, 65002).                                       // line 3
+				PeerInGroup(aB, "BackboneSide").                       // line 4
+				Peer(aPoP, 64601).                                     // line 5
+				PeerInGroup(aPoP, "PoPSide").                          // line 6
+				Peer(aS, 65004).                                       // line 7
+				PeerInGroup(aS, "DCNSide").                            // line 8
+				GroupPolicy("DCNSide", "Override_All", netcfg.Import). // line 9
+				GroupPolicy("PoPSide", "Override_All", netcfg.Import)  // line 10
+	b = g.End()
+	if faulty {
+		// Line 11: the misconfiguration — rewrites every route.
+		b.PrefixListEntry("default_all", 10, true, netip.MustParsePrefix("0.0.0.0/0"), 0, 32)
+	} else {
+		// The repair: only routes originated by the connected PoP and DCN.
+		b.PrefixListEntry("default_all", 10, true, PrefixPoPA, 0, 0)
+	}
+	// Line 12: present in both variants so line numbering is identical;
+	// under the faulty match-everything entry at index 10 it is never
+	// reached (first match wins).
+	b.PrefixListEntry("default_all", 20, true, PrefixDCNS, 0, 0)
+	b.RoutePolicy("Override_All", true, 10). // line 13
+							MatchIPPrefix("default_all"). // line 14
+							ApplyASPathOverwrite(65001).  // line 15
+							End().
+							RoutePolicy("Override_All", true, 20). // line 16: explicit pass-through
+							End()
+	emitInterfaces(b, t.Node("A"), nil)
+	return b.Build()
+}
+
+func figure2RouterB(t *topo.Network) *netcfg.Config {
+	bA := adjacencyAddr(t, "B", "A")
+	bC := adjacencyAddr(t, "B", "C")
+	bPoP := adjacencyAddr(t, "B", "PoP-B")
+	b := netcfg.NewBuilder("B")
+	g := b.BGP(65002).
+		RouterID(netip.MustParseAddr("1.0.0.2")).
+		Peer(bA, 65001).
+		PeerInGroup(bA, "BackboneSide").
+		Peer(bC, 65003).
+		PeerInGroup(bC, "BackboneSide").
+		Peer(bPoP, 64602).
+		PeerInGroup(bPoP, "PoPSide").
+		GroupPolicy("PoPSide", "Override_Part", netcfg.Import)
+	b = g.End()
+	// B's override is correctly scoped to its connected PoP's prefix.
+	b.PrefixListEntry("pop_prefixes", 10, true, PrefixPoPB, 0, 0)
+	b.RoutePolicy("Override_Part", true, 10).
+		MatchIPPrefix("pop_prefixes").
+		ApplyASPathOverwrite(65002).
+		End().
+		RoutePolicy("Override_Part", true, 20).
+		End()
+	emitInterfaces(b, t.Node("B"), nil)
+	return b.Build()
+}
+
+func figure2RouterC(t *topo.Network, faulty bool) *netcfg.Config {
+	cB := adjacencyAddr(t, "C", "B")
+	cS := adjacencyAddr(t, "C", "S")
+	b := netcfg.NewBuilder("C")
+	g := b.BGP(65003). // line 1
+				RouterID(netip.MustParseAddr("1.0.0.3")).             // line 2
+				Peer(cB, 65002).                                      // line 3
+				PeerInGroup(cB, "BackboneSide").                      // line 4
+				Peer(cS, 65004).                                      // line 5: the new session
+				PeerInGroup(cS, "DCNSide").                           // line 6
+				GroupPolicy("DCNSide", "Override_All", netcfg.Import) // line 7
+	b = g.End()
+	if faulty {
+		// Line 8: same misconfiguration as A.
+		b.PrefixListEntry("default_all", 10, true, netip.MustParsePrefix("0.0.0.0/0"), 0, 32)
+	} else {
+		b.PrefixListEntry("default_all", 10, true, PrefixPoPA, 0, 0)
+	}
+	b.PrefixListEntry("default_all", 20, true, PrefixDCNS, 0, 0) // line 9
+	b.RoutePolicy("Override_All", true, 10).
+		MatchIPPrefix("default_all").
+		ApplyASPathOverwrite(65003).
+		End().
+		RoutePolicy("Override_All", true, 20).
+		End()
+	emitInterfaces(b, t.Node("C"), nil)
+	return b.Build()
+}
+
+func figure2RouterS(t *topo.Network) *netcfg.Config {
+	sA := adjacencyAddr(t, "S", "A")
+	sC := adjacencyAddr(t, "S", "C")
+	sD := adjacencyAddr(t, "S", "DCN-S")
+	b := netcfg.NewBuilder("S")
+	g := b.BGP(65004).
+		RouterID(netip.MustParseAddr("1.0.0.4")).
+		Peer(sA, 65001).
+		PeerInGroup(sA, "BackboneSide").
+		Peer(sC, 65003). // the new session
+		PeerInGroup(sC, "BackboneSide").
+		Peer(sD, 64701).
+		PeerInGroup(sD, "DCNSide").
+		GroupPolicy("DCNSide", "Override_Part", netcfg.Import)
+	b = g.End()
+	b.PrefixListEntry("dcn_prefixes", 10, true, PrefixDCNS, 0, 0)
+	b.RoutePolicy("Override_Part", true, 10).
+		MatchIPPrefix("dcn_prefixes").
+		ApplyASPathOverwrite(65004).
+		End().
+		RoutePolicy("Override_Part", true, 20).
+		End()
+	emitInterfaces(b, t.Node("S"), nil)
+	return b.Build()
+}
+
+// Figure2PaperRepair returns the reference repair as edit sets against the
+// faulty scenario: restrict A's and C's default_all lists to the prefixes
+// of the connected PoP and DCN (the §2.2 fix). Useful as a regression
+// oracle for the repair engine.
+func Figure2PaperRepair() []netcfg.EditSet {
+	return []netcfg.EditSet{
+		{Device: "A", Edits: []netcfg.Edit{netcfg.ReplaceLine{
+			At:   FigureALinePrefixList,
+			Text: netcfg.FormatPrefixListEntry("default_all", 10, true, PrefixPoPA, 0, 0),
+		}}},
+		{Device: "C", Edits: []netcfg.Edit{netcfg.ReplaceLine{
+			At:   FigureCLinePrefixList,
+			Text: netcfg.FormatPrefixListEntry("default_all", 10, true, PrefixPoPA, 0, 0),
+		}}},
+	}
+}
+
+// lineText is a debugging helper: the text of a LineRef in this scenario.
+func (s *Scenario) lineText(ref netcfg.LineRef) string {
+	return fmt.Sprintf("%s: %s", ref, s.Configs[ref.Device].Line(ref.Line))
+}

@@ -1,0 +1,254 @@
+package smt
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	pA = netip.MustParsePrefix("10.70.0.0/16")
+	pB = netip.MustParsePrefix("10.0.0.0/16")
+	pC = netip.MustParsePrefix("20.0.0.0/16")
+)
+
+// TestPaperExample solves exactly the §5 step-2 instance:
+// P: 10.70/16 ∈ var ∧ 20.0/16 ∈ var, F: 10.0/16 ∈ var; solve P ∧ ¬F.
+func TestPaperExample(t *testing.T) {
+	v := PrefixSetVar("var")
+	f := And(In(pA, v), In(pC, v), Not(In(pB, v)))
+	model, ok := NewProblem().Solve(f)
+	if !ok {
+		t.Fatal("unsat; want {10.70/16, 20.0/16}")
+	}
+	got := model.Set("var")
+	if len(got) != 2 || got[0] != pB.Masked() && got[0] != pA || got[1] != pC {
+		// sorted: 10.70 < 20.0
+		if len(got) != 2 || got[0] != pA || got[1] != pC {
+			t.Fatalf("var = %v, want [10.70.0.0/16 20.0.0.0/16]", got)
+		}
+	}
+}
+
+func TestMinimality(t *testing.T) {
+	v := PrefixSetVar("s")
+	// Only pA forced in; pB and pC mentioned but unconstrained positives.
+	f := And(In(pA, v), Or(In(pB, v), Not(In(pB, v))), Or(In(pC, v), Bool(true)))
+	model, ok := NewProblem().Solve(f)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if got := model.Set("s"); len(got) != 1 || got[0] != pA {
+		t.Fatalf("s = %v, want minimal [10.70.0.0/16]", got)
+	}
+}
+
+func TestUnsat(t *testing.T) {
+	v := PrefixSetVar("s")
+	if _, ok := NewProblem().Solve(And(In(pA, v), Not(In(pA, v)))); ok {
+		t.Fatal("contradiction reported sat")
+	}
+}
+
+func TestIntVarFromMentionedValues(t *testing.T) {
+	v := IntVar("asn")
+	f := And(Or(EqInt(v, 65001), EqInt(v, 65002)), Not(EqInt(v, 65001)))
+	model, ok := NewProblem().Solve(f)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if got, _ := model.Int("asn"); got != 65002 {
+		t.Fatalf("asn = %d, want 65002", got)
+	}
+}
+
+func TestIntVarExplicitDomain(t *testing.T) {
+	v := IntVar("asn")
+	p := NewProblem()
+	p.IntDomain(v, 100, 200, 300)
+	f := Not(EqInt(v, 100))
+	model, ok := p.Solve(f)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if got, _ := model.Int("asn"); got != 200 {
+		t.Fatalf("asn = %d, want 200 (first satisfying in domain order)", got)
+	}
+}
+
+func TestBoolVars(t *testing.T) {
+	a, b := BoolVar("a"), BoolVar("b")
+	f := And(Or(IsTrue(a), IsTrue(b)), Not(IsTrue(a)))
+	model, ok := NewProblem().Solve(f)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if model.BoolVal("a") || !model.BoolVal("b") {
+		t.Fatalf("model = %s, want a=false b=true", model)
+	}
+}
+
+func TestBoolMinimalChange(t *testing.T) {
+	// Free bools default to false (minimal change sets for AED-style
+	// delta variables).
+	a, b := BoolVar("a"), BoolVar("b")
+	f := Or(IsTrue(a), IsTrue(b), Bool(true))
+	model, ok := NewProblem().Solve(f)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if model.BoolVal("a") || model.BoolVal("b") {
+		t.Fatalf("model = %s, want all-false", model)
+	}
+}
+
+func TestMixedSorts(t *testing.T) {
+	s := PrefixSetVar("s")
+	asn := IntVar("asn")
+	d := BoolVar("delta")
+	f := And(
+		In(pA, s),
+		Or(EqInt(asn, 65004), EqInt(asn, 64999)),
+		Not(EqInt(asn, 64999)),
+		Or(IsTrue(d), In(pC, s)),
+	)
+	model, ok := NewProblem().Solve(f)
+	if !ok {
+		t.Fatal("unsat")
+	}
+	if got, _ := model.Int("asn"); got != 65004 {
+		t.Errorf("asn = %d", got)
+	}
+	// delta=false branch requires pC in s; false-first bool ordering
+	// combined with exclude-first membership: membership decision for pC
+	// comes first in the decision order, so the solver lands on the
+	// assignment with pC excluded and delta=true... either way the formula
+	// holds; just assert satisfaction semantics.
+	if !(model.BoolVal("delta") || containsPrefix(model.Set("s"), pC)) {
+		t.Errorf("disjunction unsatisfied in model %s", model)
+	}
+}
+
+func containsPrefix(ps []netip.Prefix, p netip.Prefix) bool {
+	for _, x := range ps {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSolveCountedReportsWork(t *testing.T) {
+	v := PrefixSetVar("s")
+	_, ok, visited := NewProblem().SolveCounted(And(In(pA, v), In(pB, v), In(pC, v)))
+	if !ok || visited == 0 {
+		t.Fatalf("ok=%v visited=%d", ok, visited)
+	}
+}
+
+func TestFormulaString(t *testing.T) {
+	v := PrefixSetVar("var")
+	f := And(In(pA, v), Not(In(pB, v)))
+	s := String(f)
+	for _, want := range []string{"10.70.0.0/16 ∈ var", "¬(10.0.0.0/16 ∈ var)"} {
+		if !contains(s, want) {
+			t.Errorf("String(f) = %q missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})())
+}
+
+// Property: any model returned satisfies the formula under strict
+// evaluation.
+func TestQuickModelsSatisfy(t *testing.T) {
+	prefixes := []netip.Prefix{pA, pB, pC, netip.MustParsePrefix("30.0.0.0/8")}
+	gen := func(rng *rand.Rand, depth int) Formula {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			switch rng.Intn(3) {
+			case 0:
+				return In(prefixes[rng.Intn(len(prefixes))], PrefixSetVar("s"))
+			case 1:
+				return EqInt(IntVar("x"), uint32(rng.Intn(3)+1))
+			default:
+				return IsTrue(BoolVar("b"))
+			}
+		}
+		switch rng.Intn(3) {
+		case 0:
+			return Not(genHelper(rng, depth-1))
+		case 1:
+			return And(genHelper(rng, depth-1), genHelper(rng, depth-1))
+		default:
+			return Or(genHelper(rng, depth-1), genHelper(rng, depth-1))
+		}
+	}
+	genHelper = gen
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		f := gen(rng, 3)
+		model, ok := NewProblem().Solve(f)
+		if !ok {
+			return true // unsat claims are not checked here
+		}
+		return evalModel(f, model)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+var genHelper func(rng *rand.Rand, depth int) Formula
+
+// evalModel evaluates strictly under a complete model (absent memberships
+// and bools are false; absent ints equal nothing).
+func evalModel(f Formula, m *Model) bool {
+	switch a := f.(type) {
+	case constForm:
+		return a.V
+	case inAtom:
+		return containsPrefix(m.Set(a.Set.Name), a.Prefix)
+	case eqIntAtom:
+		v, ok := m.Int(a.Var.Name)
+		return ok && v == a.Value
+	case boolAtom:
+		return m.BoolVal(a.Var.Name)
+	case notForm:
+		return !evalModel(a.F, m)
+	case andForm:
+		for _, sub := range a.Fs {
+			if !evalModel(sub, m) {
+				return false
+			}
+		}
+		return true
+	case orForm:
+		for _, sub := range a.Fs {
+			if evalModel(sub, m) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Property: Solve is deterministic.
+func TestQuickDeterministic(t *testing.T) {
+	f := And(In(pA, PrefixSetVar("s")), Or(In(pB, PrefixSetVar("s")), In(pC, PrefixSetVar("s"))))
+	m1, ok1 := NewProblem().Solve(f)
+	m2, ok2 := NewProblem().Solve(f)
+	if ok1 != ok2 || m1.String() != m2.String() {
+		t.Fatalf("nondeterministic: %s vs %s", m1, m2)
+	}
+}

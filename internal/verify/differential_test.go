@@ -1,0 +1,112 @@
+package verify_test
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/bgp"
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+	"acr/internal/verify"
+)
+
+func TestDifferentialIntentsFromCorrectBaseline(t *testing.T) {
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	intents := verify.DifferentialIntents(s.Topo, s.Configs, verify.DiffGenOptions{})
+	if len(intents) == 0 {
+		t.Fatal("no differential intents generated")
+	}
+	// All derived reachability intents must pass on the baseline itself.
+	n := bgp.Compile(s.Topo, s.Files())
+	out := bgp.Simulate(n, bgp.Options{})
+	rep := verify.Verify(n, out, intents)
+	if rep.NumFailed() != 0 {
+		t.Fatalf("differential suite fails on its own baseline:\n%s", rep.Summary())
+	}
+	// PoP→DCN flows are isolated in the baseline, so no reach intent may
+	// cover them (IncludeIsolation off).
+	for _, in := range intents {
+		if in.Kind != verify.Reachability {
+			t.Errorf("unexpected non-reach intent %s with isolation off", in)
+		}
+		if strings.HasPrefix(in.ID, "diff-dcn") && strings.Contains(in.ID, "from-pop") {
+			t.Errorf("reach intent generated for isolated pair: %s", in)
+		}
+	}
+}
+
+func TestDifferentialIntentsIncludeIsolation(t *testing.T) {
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	intents := verify.DifferentialIntents(s.Topo, s.Configs, verify.DiffGenOptions{IncludeIsolation: true})
+	var iso int
+	for _, in := range intents {
+		if in.Kind == verify.Isolation {
+			iso++
+		}
+	}
+	if iso == 0 {
+		t.Fatal("no isolation intents despite IncludeIsolation")
+	}
+	n := bgp.Compile(s.Topo, s.Files())
+	out := bgp.Simulate(n, bgp.Options{})
+	if rep := verify.Verify(n, out, intents); rep.NumFailed() != 0 {
+		t.Fatalf("isolation-augmented suite fails on baseline:\n%s", rep.Summary())
+	}
+}
+
+func TestDifferentialSuiteCatchesRegression(t *testing.T) {
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	intents := verify.DifferentialIntents(s.Topo, s.Configs, verify.DiffGenOptions{IncludeIsolation: true})
+	// Regress: break pop0's uplink AS number.
+	f := netcfg.MustParse(s.Configs["pop0"])
+	peer := f.BGP.Peers[0]
+	next, err := netcfg.EditSet{Edits: []netcfg.Edit{netcfg.ReplaceLine{
+		At: peer.ASNLine, Text: " peer " + peer.Addr.String() + " as-number 63999",
+	}}}.Apply(s.Configs["pop0"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Configs["pop0"] = next
+	n := bgp.Compile(s.Topo, s.Files())
+	out := bgp.Simulate(n, bgp.Options{})
+	rep := verify.Verify(n, out, intents)
+	if rep.NumFailed() == 0 {
+		t.Fatal("differential suite missed the regression")
+	}
+}
+
+func TestDifferentialMaxPairs(t *testing.T) {
+	s := scenario.WAN(8, 4, 3, scenario.GenOptions{})
+	intents := verify.DifferentialIntents(s.Topo, s.Configs, verify.DiffGenOptions{MaxPairs: 5, IncludeIsolation: true})
+	if len(intents) != 5 {
+		t.Errorf("intents = %d, want capped at 5", len(intents))
+	}
+}
+
+func TestMergeIntents(t *testing.T) {
+	base := scenario.Figure2Intents()
+	extras := []verify.Intent{
+		base[0], // duplicate by identity
+		verify.ReachIntent("reach-pop-a", scenario.PrefixPoPB, scenario.PrefixPoPA), // duplicate ID
+		verify.ReachIntent("new-one", scenario.PrefixPoPB, scenario.PrefixPoPA),
+	}
+	merged := verify.MergeIntents(base, extras)
+	if len(merged) != len(base)+1 {
+		t.Fatalf("merged = %d, want %d", len(merged), len(base)+1)
+	}
+	if merged[len(merged)-1].ID != "new-one" {
+		t.Errorf("last merged = %s", merged[len(merged)-1].ID)
+	}
+}
+
+// TestDifferentialImprovesSpectrum: a richer suite gives SBFL more passing
+// tests, which can only sharpen (never blur) suspiciousness separation of
+// lines exclusive to the failure.
+func TestDifferentialImprovesSpectrum(t *testing.T) {
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	diff := verify.DifferentialIntents(s.Topo, s.Configs, verify.DiffGenOptions{IncludeIsolation: true})
+	merged := verify.MergeIntents(s.Intents, diff)
+	if len(merged) <= len(s.Intents) {
+		t.Fatalf("differential suite added nothing: %d vs %d", len(merged), len(s.Intents))
+	}
+}

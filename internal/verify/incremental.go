@@ -1,0 +1,326 @@
+package verify
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"acr/internal/bgp"
+	"acr/internal/netcfg"
+	"acr/internal/provenance"
+	"acr/internal/topo"
+)
+
+// Stats reports how much work an incremental check performed, for the
+// paper's claim that validation is efficient with incremental verifiers
+// (§3.2, observation 3).
+type Stats struct {
+	PrefixesTotal     int
+	PrefixesSimulated int
+	IntentsTotal      int
+	IntentsReverified int
+	// Broad marks a change the dependency analysis could not scope (e.g. a
+	// session-level edit), forcing full re-verification.
+	Broad bool
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("simulated %d/%d prefixes, reverified %d/%d intents (broad=%v)",
+		s.PrefixesSimulated, s.PrefixesTotal, s.IntentsReverified, s.IntentsTotal, s.Broad)
+}
+
+// Incremental is a DNA-style incremental verifier. It holds a verified
+// base configuration; Check evaluates candidate edit sets against that
+// base, re-simulating only affected prefixes and re-checking only affected
+// intents. Commit advances the base to an accepted candidate.
+type Incremental struct {
+	Topo    *topo.Network
+	Intents []Intent
+	SimOpts bgp.Options
+
+	configs map[string]*netcfg.Config
+	files   map[string]*netcfg.File
+	net     *bgp.Net
+	out     *bgp.Outcome
+	prov    *provenance.Graph
+	report  *Report
+
+	// lineDeps maps each configuration line to the prefixes whose
+	// provenance executed it.
+	lineDeps map[netcfg.LineRef]map[netip.Prefix]bool
+}
+
+// NewIncremental verifies the base configuration fully and builds the
+// dependency index.
+func NewIncremental(t *topo.Network, configs map[string]*netcfg.Config, intents []Intent, opts bgp.Options) *Incremental {
+	iv := &Incremental{Topo: t, Intents: intents, SimOpts: opts}
+	iv.rebase(configs)
+	return iv
+}
+
+func (iv *Incremental) rebase(configs map[string]*netcfg.Config) {
+	iv.configs = configs
+	iv.files = map[string]*netcfg.File{}
+	for d, c := range configs {
+		f, _ := netcfg.Parse(c) // partial ASTs are fine; broken lines are repair candidates
+		iv.files[d] = f
+	}
+	iv.net = bgp.Compile(iv.Topo, iv.files)
+	iv.out = bgp.Simulate(iv.net, iv.SimOpts)
+	iv.prov = bgp.BuildProvenance(iv.net, iv.out)
+	iv.report = Verify(iv.net, iv.out, iv.Intents)
+	iv.lineDeps = map[netcfg.LineRef]map[netip.Prefix]bool{}
+	for _, p := range iv.prov.Prefixes() {
+		for _, l := range iv.prov.LinesForPrefix(p) {
+			m := iv.lineDeps[l]
+			if m == nil {
+				m = map[netip.Prefix]bool{}
+				iv.lineDeps[l] = m
+			}
+			m[p] = true
+		}
+	}
+}
+
+// Base accessors.
+
+// BaseReport returns the verification report of the current base.
+func (iv *Incremental) BaseReport() *Report { return iv.report }
+
+// BaseOutcome returns the simulation outcome of the current base.
+func (iv *Incremental) BaseOutcome() *bgp.Outcome { return iv.out }
+
+// BaseNet returns the compiled base network.
+func (iv *Incremental) BaseNet() *bgp.Net { return iv.net }
+
+// BaseProvenance returns the base derivation graph.
+func (iv *Incremental) BaseProvenance() *provenance.Graph { return iv.prov }
+
+// BaseConfigs returns the base configuration documents.
+func (iv *Incremental) BaseConfigs() map[string]*netcfg.Config { return iv.configs }
+
+// BaseFiles returns the parsed base configurations.
+func (iv *Incremental) BaseFiles() map[string]*netcfg.File { return iv.files }
+
+// applyEdits produces the candidate configuration map.
+func (iv *Incremental) applyEdits(edits []netcfg.EditSet) (map[string]*netcfg.Config, error) {
+	out := make(map[string]*netcfg.Config, len(iv.configs))
+	for d, c := range iv.configs {
+		out[d] = c
+	}
+	for _, es := range edits {
+		base, ok := out[es.Device]
+		if !ok {
+			return nil, fmt.Errorf("edit set for unknown device %q", es.Device)
+		}
+		next, err := es.Apply(base)
+		if err != nil {
+			return nil, err
+		}
+		out[es.Device] = next
+	}
+	return out, nil
+}
+
+// prefixLiterals extracts prefix tokens ("a.b.c.d/len") from a line.
+func prefixLiterals(line string) []netip.Prefix {
+	var out []netip.Prefix
+	for _, tok := range strings.Fields(line) {
+		if p, err := netip.ParsePrefix(tok); err == nil {
+			out = append(out, p.Masked())
+		}
+	}
+	return out
+}
+
+// Check verifies the base with edits applied, incrementally. The returned
+// report covers every intent (cached verdicts are reused for unaffected
+// ones). The base is not modified.
+func (iv *Incremental) Check(edits []netcfg.EditSet) (*Report, Stats, error) {
+	newConfigs, err := iv.applyEdits(edits)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	// --- dependency analysis -------------------------------------------
+	affected := map[netip.Prefix]bool{}
+	broad := false
+	oldPrefixes := iv.net.AllPrefixes()
+	markOverlaps := func(lit netip.Prefix) {
+		hit := false
+		for _, p := range oldPrefixes {
+			if p.Overlaps(lit) {
+				affected[p] = true
+				hit = true
+			}
+		}
+		_ = hit
+	}
+	for _, es := range edits {
+		baseCfg := iv.configs[es.Device]
+		for _, e := range es.Edits {
+			var oldText, newText string
+			var anchorRef netcfg.LineRef
+			switch ed := e.(type) {
+			case netcfg.InsertBefore:
+				newText = ed.Text
+			case netcfg.DeleteLine:
+				oldText = baseCfg.Line(ed.At)
+				anchorRef = netcfg.LineRef{Device: es.Device, Line: ed.At}
+			case netcfg.ReplaceLine:
+				oldText = baseCfg.Line(ed.At)
+				newText = ed.Text
+				anchorRef = netcfg.LineRef{Device: es.Device, Line: ed.At}
+			default:
+				broad = true
+				continue
+			}
+			scoped := false
+			if anchorRef.Line > 0 {
+				for p := range iv.lineDeps[anchorRef] {
+					affected[p] = true
+					scoped = true
+				}
+			}
+			lits := append(prefixLiterals(oldText), prefixLiterals(newText)...)
+			for _, lit := range lits {
+				markOverlaps(lit)
+				scoped = true
+			}
+			if !scoped {
+				// A line with no prefix literal and no provenance history
+				// (e.g. a new policy attachment or session stanza) can
+				// influence any prefix through that device.
+				broad = true
+			}
+		}
+	}
+
+	// --- recompile and re-simulate --------------------------------------
+	newFiles := map[string]*netcfg.File{}
+	for d, c := range newConfigs {
+		if c == iv.configs[d] {
+			newFiles[d] = iv.files[d]
+			continue
+		}
+		f, _ := netcfg.Parse(c)
+		newFiles[d] = f
+	}
+	newNet := bgp.Compile(iv.Topo, newFiles)
+
+	newAll := newNet.AllPrefixes()
+	newSet := map[netip.Prefix]bool{}
+	for _, p := range newAll {
+		newSet[p] = true
+	}
+	oldSet := map[netip.Prefix]bool{}
+	for _, p := range oldPrefixes {
+		oldSet[p] = true
+		if !newSet[p] {
+			affected[p] = true // origination removed
+		}
+	}
+	for _, p := range newAll {
+		if !oldSet[p] {
+			affected[p] = true // new origination
+		}
+	}
+	// Session changes (up or down) affect everything.
+	if sessionFingerprint(iv.net) != sessionFingerprint(newNet) {
+		broad = true
+	}
+
+	stats := Stats{PrefixesTotal: len(newAll), IntentsTotal: len(iv.Intents), Broad: broad}
+	newOut := &bgp.Outcome{Net: newNet, ByPrefix: map[netip.Prefix]*bgp.PrefixOutcome{}}
+	for _, p := range newAll {
+		if broad || affected[p] {
+			newOut.ByPrefix[p] = bgp.SimulatePrefix(newNet, p, iv.SimOpts)
+			stats.PrefixesSimulated++
+		} else {
+			newOut.ByPrefix[p] = iv.out.ByPrefix[p]
+		}
+	}
+
+	// --- re-verify affected intents --------------------------------------
+	editedLines := map[netcfg.LineRef]bool{}
+	for _, es := range edits {
+		for _, e := range es.Edits {
+			switch ed := e.(type) {
+			case netcfg.DeleteLine:
+				editedLines[netcfg.LineRef{Device: es.Device, Line: ed.At}] = true
+			case netcfg.ReplaceLine:
+				editedLines[netcfg.LineRef{Device: es.Device, Line: ed.At}] = true
+			}
+		}
+	}
+	rep := &Report{Verdicts: make([]Verdict, len(iv.Intents))}
+	for i, in := range iv.Intents {
+		base := iv.report.Verdicts[i]
+		if broad || iv.intentAffected(base, in, affected, editedLines) {
+			rep.Verdicts[i] = checkIntent(newNet, newOut, in)
+			stats.IntentsReverified++
+		} else {
+			rep.Verdicts[i] = base
+		}
+	}
+	return rep, stats, nil
+}
+
+// intentAffected decides whether a cached verdict may be stale.
+func (iv *Incremental) intentAffected(base Verdict, in Intent, affected map[netip.Prefix]bool, edited map[netcfg.LineRef]bool) bool {
+	pkt := in.Packet()
+	for p := range affected {
+		if p.Contains(pkt.Dst) {
+			return true
+		}
+	}
+	for _, l := range base.Lines() {
+		if edited[l] {
+			return true
+		}
+	}
+	// Intents that previously matched no prefix must be re-checked when
+	// new prefixes appear covering them — handled above since new
+	// originations are in `affected`.
+	return false
+}
+
+// sessionFingerprint summarizes the established-session set.
+func sessionFingerprint(n *bgp.Net) string {
+	var sb strings.Builder
+	for _, name := range n.Order {
+		for _, s := range n.Routers[name].Sessions {
+			fmt.Fprintf(&sb, "%s-%s;", name, s.PeerAddr)
+		}
+		sb.WriteByte('|')
+	}
+	return sb.String()
+}
+
+// FullCheck verifies the base with edits applied from scratch — no reuse.
+// It exists for the incremental-vs-full ablation.
+func (iv *Incremental) FullCheck(edits []netcfg.EditSet) (*Report, error) {
+	newConfigs, err := iv.applyEdits(edits)
+	if err != nil {
+		return nil, err
+	}
+	files := map[string]*netcfg.File{}
+	for d, c := range newConfigs {
+		f, _ := netcfg.Parse(c)
+		files[d] = f
+	}
+	n := bgp.Compile(iv.Topo, files)
+	out := bgp.Simulate(n, iv.SimOpts)
+	return Verify(n, out, iv.Intents), nil
+}
+
+// Commit applies edits to the base permanently, rebuilding the dependency
+// index (full recomputation; commits happen once per accepted repair).
+func (iv *Incremental) Commit(edits []netcfg.EditSet) error {
+	newConfigs, err := iv.applyEdits(edits)
+	if err != nil {
+		return err
+	}
+	iv.rebase(newConfigs)
+	return nil
+}

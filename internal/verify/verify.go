@@ -1,0 +1,243 @@
+package verify
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"acr/internal/bgp"
+	"acr/internal/dataplane"
+	"acr/internal/netcfg"
+)
+
+// Verdict is the result of checking one intent.
+type Verdict struct {
+	Intent Intent
+	Pass   bool
+	Reason string
+	// Prefix is the originated prefix the intent's destination resolved
+	// to (its control-plane dependency); invalid when none covers it.
+	Prefix netip.Prefix
+	// Flapping reports that the destination prefix failed to converge.
+	Flapping bool
+	// Traces holds one dataplane trace per control-plane phase for flow
+	// intents (per phase and router for global intents, capped).
+	Traces []*dataplane.TraceResult
+}
+
+// Lines returns every dataplane configuration line the verdict's traces
+// executed.
+func (v *Verdict) Lines() []netcfg.LineRef {
+	var out []netcfg.LineRef
+	for _, tr := range v.Traces {
+		out = append(out, tr.Lines...)
+	}
+	return out
+}
+
+// Report aggregates verdicts for a whole specification.
+type Report struct {
+	Verdicts []Verdict
+}
+
+// NumFailed counts failing verdicts — the repair engine's fitness function
+// (§5: "the fitness of an update is defined as the number of failed
+// cases").
+func (r *Report) NumFailed() int {
+	n := 0
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			n++
+		}
+	}
+	return n
+}
+
+// Failed returns the failing verdicts.
+func (r *Report) Failed() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if !v.Pass {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Passed returns the passing verdicts.
+func (r *Report) Passed() []Verdict {
+	var out []Verdict
+	for _, v := range r.Verdicts {
+		if v.Pass {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ByID returns the verdict for the given intent ID, or nil.
+func (r *Report) ByID(id string) *Verdict {
+	for i := range r.Verdicts {
+		if r.Verdicts[i].Intent.ID == id {
+			return &r.Verdicts[i]
+		}
+	}
+	return nil
+}
+
+// Summary renders a one-line-per-intent report.
+func (r *Report) Summary() string {
+	var sb strings.Builder
+	for _, v := range r.Verdicts {
+		status := "PASS"
+		if !v.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "%s  %s", status, v.Intent)
+		if !v.Pass {
+			fmt.Fprintf(&sb, "  (%s)", v.Reason)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Verify checks every intent against a simulated outcome.
+func Verify(n *bgp.Net, out *bgp.Outcome, intents []Intent) *Report {
+	rep := &Report{}
+	for _, in := range intents {
+		rep.Verdicts = append(rep.Verdicts, checkIntent(n, out, in))
+	}
+	return rep
+}
+
+// coveringOutcome finds the originated prefix covering addr (longest
+// match) and its outcome.
+func coveringOutcome(out *bgp.Outcome, addr netip.Addr) (netip.Prefix, *bgp.PrefixOutcome) {
+	var best netip.Prefix
+	var bestPO *bgp.PrefixOutcome
+	for p, po := range out.ByPrefix {
+		if p.Contains(addr) && (!best.IsValid() || p.Bits() > best.Bits()) {
+			best, bestPO = p, po
+		}
+	}
+	return best, bestPO
+}
+
+func checkIntent(n *bgp.Net, out *bgp.Outcome, in Intent) Verdict {
+	switch in.Kind {
+	case Reachability, Isolation, Waypoint:
+		return checkFlow(n, out, in)
+	case LoopFree, BlackholeFree:
+		return checkGlobal(n, out, in)
+	}
+	return Verdict{Intent: in, Pass: false, Reason: "unknown intent kind"}
+}
+
+func checkFlow(n *bgp.Net, out *bgp.Outcome, in Intent) Verdict {
+	v := Verdict{Intent: in}
+	pkt := in.Packet()
+	from := dataplane.InjectionPoint(n.Topo, pkt.Src)
+	if from == "" {
+		v.Pass = in.Kind == Isolation
+		v.Reason = fmt.Sprintf("no injection point for source %s", pkt.Src)
+		return v
+	}
+	prefix, po := coveringOutcome(out, pkt.Dst)
+	v.Prefix = prefix
+	var phases []map[string]*bgp.Route
+	if po != nil {
+		v.Flapping = !po.Converged
+		phases = po.Phases()
+	} else {
+		phases = []map[string]*bgp.Route{nil} // statics may still deliver
+	}
+	delivered, looped := 0, 0
+	visitsVia := true
+	var failReason string
+	for _, ph := range phases {
+		tr := dataplane.Trace(n, ph, prefix, pkt, from)
+		v.Traces = append(v.Traces, tr)
+		switch tr.Outcome {
+		case dataplane.Delivered:
+			delivered++
+			if in.Via != "" && !tr.Visits(in.Via) {
+				visitsVia = false
+				failReason = fmt.Sprintf("path %s bypasses waypoint %s", tr.PathString(), in.Via)
+			}
+		case dataplane.Looped:
+			looped++
+			failReason = tr.Reason + " (" + tr.PathString() + ")"
+		default:
+			failReason = tr.Reason
+		}
+	}
+	switch in.Kind {
+	case Isolation:
+		if delivered == 0 {
+			v.Pass = true
+		} else {
+			v.Reason = fmt.Sprintf("delivered in %d/%d phases, must be isolated", delivered, len(phases))
+		}
+	case Reachability, Waypoint:
+		switch {
+		case v.Flapping:
+			v.Reason = fmt.Sprintf("route flapping for %s; %d/%d phases deliver", prefix, delivered, len(phases))
+			if looped > 0 {
+				v.Reason += fmt.Sprintf("; %s", failReason)
+			}
+		case delivered != len(phases):
+			v.Reason = failReason
+		case in.Kind == Waypoint && !visitsVia:
+			v.Reason = failReason
+		default:
+			v.Pass = true
+		}
+	}
+	return v
+}
+
+// globalTraceCap bounds how many failing traces a global verdict retains.
+const globalTraceCap = 4
+
+func checkGlobal(n *bgp.Net, out *bgp.Outcome, in Intent) Verdict {
+	v := Verdict{Intent: in}
+	prefix := in.DstPrefix
+	po := out.ByPrefix[prefix]
+	v.Prefix = prefix
+	if po == nil {
+		// Nothing routes toward it: trivially loop-free; blackhole-freedom
+		// is judged by reachability intents, not here.
+		v.Pass = true
+		v.Reason = "prefix not originated"
+		return v
+	}
+	v.Flapping = !po.Converged
+	pkt := dataplane.SamplePacket(prefix, prefix) // src unused below
+	for _, ph := range po.Phases() {
+		names := make([]string, 0, len(ph))
+		for name := range ph {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			tr := dataplane.Trace(n, ph, prefix, pkt, name)
+			bad := (in.Kind == LoopFree && tr.Outcome == dataplane.Looped) ||
+				(in.Kind == BlackholeFree && tr.Outcome == dataplane.Blackholed)
+			if bad {
+				if len(v.Traces) < globalTraceCap {
+					v.Traces = append(v.Traces, tr)
+				}
+				v.Reason = fmt.Sprintf("from %s: %s", name, tr.Reason)
+			}
+		}
+	}
+	v.Pass = v.Reason == ""
+	if v.Pass && v.Flapping && in.Kind == LoopFree {
+		// A flap without a loop phase is still unstable, but that is
+		// reachability's concern; loop-freedom judges loops only.
+		v.Reason = ""
+	}
+	return v
+}
