@@ -18,7 +18,11 @@
 package acr
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 
 	"acr/internal/baselines"
 	"acr/internal/bgp"
@@ -58,6 +62,12 @@ type (
 	RepairOptions = core.Options
 	// RepairResult is a repair run's outcome.
 	RepairResult = core.Result
+	// RepairError is one classified failure absorbed or surfaced by a run.
+	RepairError = core.RepairError
+	// ErrorKind classifies a RepairError.
+	ErrorKind = core.ErrorKind
+	// FaultInjector is the chaos seam of the repair engine.
+	FaultInjector = core.FaultInjector
 	// Template is one change-operator family.
 	Template = core.Template
 	// SimOptions tunes control-plane simulation.
@@ -140,16 +150,58 @@ func Verify(c *Case) *Report {
 	return iv.BaseReport()
 }
 
+// VerifyContext is Verify with cooperative cancellation: simulation checks
+// the context between prefixes and between activation passes. On
+// cancellation it returns the context's error and no report.
+func VerifyContext(ctx context.Context, c *Case) (*Report, error) {
+	iv := verify.NewIncremental(c.Topo, c.Configs, c.Intents, bgp.Options{Ctx: ctx})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return iv.BaseReport(), nil
+}
+
 // Simulate runs the BGP control plane and returns the per-prefix outcome
-// (including flapping detection).
-func Simulate(c *Case) *Outcome {
+// (including flapping detection). A non-nil error reports configuration
+// lines that failed to parse; the outcome is still returned and covers the
+// statements that parsed cleanly (a broken line is itself a repair
+// candidate).
+func Simulate(c *Case) (*Outcome, error) {
+	return SimulateContext(context.Background(), c)
+}
+
+// SimulateContext is Simulate with cooperative cancellation. On
+// cancellation the outcome is abandoned and the context's error returned.
+func SimulateContext(ctx context.Context, c *Case) (*Outcome, error) {
 	files := map[string]*netcfg.File{}
+	var parseErrs []error
 	for d, cfg := range c.Configs {
-		f, _ := netcfg.Parse(cfg)
+		f, err := netcfg.Parse(cfg)
+		if err != nil {
+			parseErrs = append(parseErrs, fmt.Errorf("device %s: %w", d, err))
+		}
 		files[d] = f
 	}
 	n := bgp.Compile(c.Topo, files)
-	return bgp.Simulate(n, bgp.Options{})
+	out := bgp.Simulate(n, bgp.Options{Ctx: ctx})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, joinErrs(parseErrs)
+}
+
+// joinErrs renders a deterministic multi-error: per-device messages are
+// sorted so the config map's iteration order does not leak into output.
+func joinErrs(errs []error) error {
+	if len(errs) == 0 {
+		return nil
+	}
+	msgs := make([]string, len(errs))
+	for i, e := range errs {
+		msgs[i] = e.Error()
+	}
+	sort.Strings(msgs)
+	return fmt.Errorf("parse errors:\n  %s", strings.Join(msgs, "\n  "))
 }
 
 // NewIncrementalVerifier builds a DNA-style incremental verifier over the
@@ -199,6 +251,14 @@ func Repair(c *Case, opts RepairOptions) *RepairResult {
 	return core.Repair(c.problem(), opts)
 }
 
+// RepairContext is Repair with cooperative cancellation and wall-clock
+// bounds (opts.Deadline / opts.MaxWallClock). The result is always usable:
+// when the run ends on "deadline" or "canceled" it carries the best-effort
+// repair found so far (BestEffortConfigs / BestEffortFitness / Improved).
+func RepairContext(ctx context.Context, c *Case, opts RepairOptions) *RepairResult {
+	return core.RepairContext(ctx, c.problem(), opts)
+}
+
 // Baseline results, re-exported.
 type (
 	// MetaProvResult is the provenance baseline's outcome.
@@ -212,8 +272,18 @@ type (
 // MetaProvRepair runs the provenance-based baseline (§2.3).
 func MetaProvRepair(c *Case) *MetaProvResult { return baselines.MetaProv(c.problem()) }
 
+// MetaProvRepairContext is MetaProvRepair with cooperative cancellation.
+func MetaProvRepairContext(ctx context.Context, c *Case) *MetaProvResult {
+	return baselines.MetaProvContext(ctx, c.problem())
+}
+
 // AEDRepair runs the synthesis baseline (§2.3).
 func AEDRepair(c *Case, opts AEDOptions) *AEDResult { return baselines.AED(c.problem(), opts) }
+
+// AEDRepairContext is AEDRepair with cooperative cancellation.
+func AEDRepairContext(ctx context.Context, c *Case, opts AEDOptions) *AEDResult {
+	return baselines.AEDContext(ctx, c.problem(), opts)
+}
 
 // Incident corpus, re-exported.
 type (

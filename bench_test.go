@@ -451,7 +451,10 @@ func BenchmarkAblation_Baselines(b *testing.B) {
 func BenchmarkSimulateFigure2(b *testing.B) {
 	c := acr.Figure2Incident()
 	for i := 0; i < b.N; i++ {
-		out := acr.Simulate(c)
+		out, err := acr.Simulate(c)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(out.FlappingPrefixes()) != 1 {
 			b.Fatal("unexpected outcome")
 		}
@@ -464,7 +467,10 @@ func BenchmarkSimulateFatTree(b *testing.B) {
 			c := acr.FatTreeDCN(k, acr.GenOptions{})
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				out := acr.Simulate(c)
+				out, err := acr.Simulate(c)
+				if err != nil {
+					b.Fatal(err)
+				}
 				if !out.Converged() {
 					b.Fatal("fat-tree did not converge")
 				}

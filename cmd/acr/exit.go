@@ -1,0 +1,30 @@
+package main
+
+import "acr/internal/core"
+
+// Exit codes for `acr repair`, so scripts can branch on the outcome
+// without parsing the report.
+const (
+	exitFeasible   = 0 // all intents pass on the repaired configs
+	exitImproved   = 2 // infeasible, but the best-effort repair fixes some intents
+	exitNoProgress = 3 // infeasible and nothing improved
+	exitDeadline   = 4 // the run was cut short by a deadline or cancellation
+)
+
+// repairExitCode maps a repair result to the process exit code. A
+// deadline/cancellation outranks "improved": a truncated run is a
+// different operational condition than a completed-but-stuck one, and
+// callers that care about partial progress can read Improved from the
+// report.
+func repairExitCode(res *core.Result) int {
+	switch {
+	case res.Feasible:
+		return exitFeasible
+	case res.Termination == "deadline" || res.Termination == "canceled":
+		return exitDeadline
+	case res.Improved:
+		return exitImproved
+	default:
+		return exitNoProgress
+	}
+}

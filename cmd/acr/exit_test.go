@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"acr/internal/core"
+)
+
+func TestRepairExitCode(t *testing.T) {
+	cases := []struct {
+		name string
+		res  core.Result
+		want int
+	}{
+		{"feasible", core.Result{Feasible: true, Termination: "feasible"}, exitFeasible},
+		{"improved but exhausted", core.Result{Termination: "exhausted", Improved: true}, exitImproved},
+		{"improved but iteration-capped", core.Result{Termination: "iteration-cap", Improved: true}, exitImproved},
+		{"no progress, exhausted", core.Result{Termination: "exhausted"}, exitNoProgress},
+		{"no progress, iteration-capped", core.Result{Termination: "iteration-cap"}, exitNoProgress},
+		{"deadline with no progress", core.Result{Termination: "deadline"}, exitDeadline},
+		{"deadline outranks improved", core.Result{Termination: "deadline", Improved: true}, exitDeadline},
+		{"canceled", core.Result{Termination: "canceled"}, exitDeadline},
+		{"canceled outranks improved", core.Result{Termination: "canceled", Improved: true}, exitDeadline},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := repairExitCode(&tc.res); got != tc.want {
+				t.Errorf("repairExitCode(%+v) = %d, want %d", tc.res, got, tc.want)
+			}
+		})
+	}
+}

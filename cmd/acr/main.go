@@ -117,7 +117,12 @@ func runSimulate(args []string) error {
 	if err != nil {
 		return err
 	}
-	out := acr.Simulate(c)
+	out, err := acr.Simulate(c)
+	if err != nil {
+		// Broken lines are repair candidates, not fatal here: report and
+		// keep the outcome for the statements that parsed.
+		fmt.Fprintln(os.Stderr, "acr: warning:", err)
+	}
 	fmt.Print(out.Describe())
 	return nil
 }
@@ -164,12 +169,13 @@ func runRepair(args []string) error {
 	seed := fs.Int64("seed", 0, "random seed")
 	outDir := fs.String("out", "", "write repaired case to this directory")
 	maxIter := fs.Int("max-iterations", 0, "iteration cap (default 500)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the repair (0 = unlimited)")
 	fs.Parse(args)
 	c, err := loadCase(*builtin, *dir)
 	if err != nil {
 		return err
 	}
-	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter}
+	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter, MaxWallClock: *timeout}
 	switch *strategy {
 	case "evolutionary":
 		opts.Strategy = core.Evolutionary
@@ -180,15 +186,23 @@ func runRepair(args []string) error {
 	}
 	res := acr.Repair(c, opts)
 	fmt.Print(res.Report(c.Configs))
-	if !res.Feasible {
-		os.Exit(1)
-	}
 	if *outDir != "" {
-		s := &scenario.Scenario{Name: c.Name + "-repaired", Topo: c.Topo, Configs: res.FinalConfigs, Intents: c.Intents}
-		if err := caseio.Save(*outDir, s); err != nil {
-			return err
+		// Write the best-effort configs even when infeasible: a partial
+		// repair that fixes some intents is still worth inspecting.
+		configs := res.FinalConfigs
+		if configs == nil {
+			configs = res.BestEffortConfigs
 		}
-		fmt.Printf("repaired case written to %s\n", *outDir)
+		if configs != nil {
+			s := &scenario.Scenario{Name: c.Name + "-repaired", Topo: c.Topo, Configs: configs, Intents: c.Intents}
+			if err := caseio.Save(*outDir, s); err != nil {
+				return err
+			}
+			fmt.Printf("repaired case written to %s\n", *outDir)
+		}
+	}
+	if code := repairExitCode(res); code != 0 {
+		os.Exit(code)
 	}
 	return nil
 }

@@ -138,7 +138,10 @@ func fig2(int, int64) {
 	for _, v := range rep.Failed() {
 		fmt.Printf("  FAIL %s: %s\n", v.Intent, v.Reason)
 	}
-	out := acr.Simulate(c)
+	out, err := acr.Simulate(c)
+	if err != nil {
+		fmt.Println("parse problems:", err)
+	}
 	fmt.Print(out.Describe())
 	fmt.Println("\nstep 1 — localize (Tarantula, router A shown as in Figure 2b):")
 	scores := acr.Localize(c)
@@ -155,8 +158,9 @@ func fig2(int, int64) {
 		fmt.Println(d)
 	}
 	repaired := &acr.Case{Name: "repaired", Topo: c.Topo, Configs: res.FinalConfigs, Intents: c.Intents}
+	repOut, _ := acr.Simulate(repaired)
 	fmt.Printf("after repair: %d failing, flapping=%v\n",
-		acr.Verify(repaired).NumFailed(), acr.Simulate(repaired).FlappingPrefixes())
+		acr.Verify(repaired).NumFailed(), repOut.FlappingPrefixes())
 }
 
 // fig3 regenerates the search-space comparison.
@@ -234,6 +238,8 @@ func fig4(size int, seed int64) {
 	fmt.Printf("corpus: %d incidents, %d visible, %d repaired\n", agg.Total, agg.Visible, agg.Repaired)
 	fmt.Printf("localization: top1=%d top5=%d top10=%d of %d\n", agg.Top1, agg.Top5, agg.Top10, agg.Visible)
 	fmt.Printf("effort: mean iterations=%.2f, mean candidates validated=%.1f\n", agg.MeanIterations, agg.MeanValidated)
+	fmt.Printf("robustness: improved-only=%d timed-out=%d candidates-panicked=%d validation-retries=%d\n",
+		agg.Improved, agg.TimedOut, agg.CandidatesPanicked, agg.ValidationRetries)
 	fmt.Println("per-class repair rate:")
 	for _, ci := range incidents.Table1 {
 		pc := perClass[ci.Class]

@@ -24,7 +24,10 @@ func main() {
 	fmt.Println("== The incident ==")
 	fmt.Println(c.Notes)
 
-	out := acr.Simulate(c)
+	out, err := acr.Simulate(c)
+	if err != nil {
+		fmt.Println("parse problems:", err)
+	}
 	fmt.Println("\ncontrol-plane outcome:")
 	fmt.Print(out.Describe())
 
@@ -89,7 +92,11 @@ func main() {
 		fmt.Println(d)
 	}
 	repaired := &acr.Case{Name: "repaired", Topo: c.Topo, Configs: res.FinalConfigs, Intents: c.Intents}
+	repOut, err := acr.Simulate(repaired)
+	if err != nil {
+		fmt.Println("parse problems after repair:", err)
+	}
 	fmt.Printf("post-repair: %d failing intents, flapping prefixes: %v\n",
-		acr.Verify(repaired).NumFailed(), acr.Simulate(repaired).FlappingPrefixes())
+		acr.Verify(repaired).NumFailed(), repOut.FlappingPrefixes())
 	_ = netcfg.LineRef{}
 }

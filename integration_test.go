@@ -17,7 +17,10 @@ func TestEndToEndFigure2(t *testing.T) {
 	if rep.NumFailed() != 1 {
 		t.Fatalf("failing intents = %d, want 1\n%s", rep.NumFailed(), rep.Summary())
 	}
-	out := acr.Simulate(c)
+	out, err := acr.Simulate(c)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
 	if len(out.FlappingPrefixes()) != 1 {
 		t.Fatalf("flapping prefixes = %v, want exactly 10.0.0.0/16", out.FlappingPrefixes())
 	}
@@ -46,7 +49,9 @@ func TestEndToEndFigure2(t *testing.T) {
 	if got := acr.Verify(repaired); got.NumFailed() != 0 {
 		t.Fatalf("repaired network fails:\n%s", got.Summary())
 	}
-	if len(acr.Simulate(repaired).FlappingPrefixes()) != 0 {
+	if repOut, err := acr.Simulate(repaired); err != nil {
+		t.Fatalf("simulate repaired: %v", err)
+	} else if len(repOut.FlappingPrefixes()) != 0 {
 		t.Error("repaired network still flapping")
 	}
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -55,12 +56,19 @@ type AEDResult struct {
 	FinalConfigs map[string]*netcfg.Config
 	// Exhausted reports the budget ran out before a solution was found.
 	Exhausted bool
+	// Canceled reports the run was interrupted by its context before the
+	// budget ran out; Explored reflects the partial work.
+	Canceled bool
 }
 
 // Summary renders the result.
 func (r *AEDResult) Summary() string {
-	return fmt.Sprintf("aed: deltaVars=%d space=2^%d explored=%d feasible=%v exhausted=%v",
+	s := fmt.Sprintf("aed: deltaVars=%d space=2^%d explored=%d feasible=%v exhausted=%v",
 		r.DeltaVariables, r.SearchSpaceLog2, r.Explored, r.Feasible, r.Exhausted)
+	if r.Canceled {
+		s += " canceled=true"
+	}
+	return s
 }
 
 // AED runs the synthesis baseline: every configuration line is a free
@@ -70,6 +78,12 @@ func (r *AEDResult) Summary() string {
 // to MaxCombo are enumerated in increasing size — systematic and correct,
 // with cost that scales with configuration size.
 func AED(p core.Problem, opts AEDOptions) *AEDResult {
+	return AEDContext(context.Background(), p, opts)
+}
+
+// AEDContext is AED with cooperative cancellation: the context is checked
+// between candidate validations and threaded into each full verification.
+func AEDContext(ctx context.Context, p core.Problem, opts AEDOptions) *AEDResult {
 	opts = opts.withDefaults()
 	res := &AEDResult{FinalConfigs: p.Configs}
 	for _, c := range p.Configs {
@@ -85,7 +99,7 @@ func AED(p core.Problem, opts AEDOptions) *AEDResult {
 	// Build the operator-application universe over EVERY line: the
 	// flattened form of the delta-variable space. Reuse the template
 	// vocabulary without any suspiciousness ranking.
-	ctx := aedContext(p, iv)
+	tctx := aedContext(p, iv)
 	type app struct {
 		up core.Update
 	}
@@ -96,7 +110,7 @@ func AED(p core.Problem, opts AEDOptions) *AEDResult {
 		for line := 1; line <= cfg.NumLines(); line++ {
 			ref := netcfg.LineRef{Device: name, Line: line}
 			for _, tmpl := range opts.Templates {
-				for _, up := range tmpl.Generate(ctx, ref) {
+				for _, up := range tmpl.Generate(tctx, ref) {
 					key := editKey(up)
 					if !seen[key] {
 						seen[key] = true
@@ -112,7 +126,7 @@ func AED(p core.Problem, opts AEDOptions) *AEDResult {
 			return false
 		}
 		res.Explored++
-		rep, err := iv.FullCheck(up.Edits)
+		rep, err := iv.FullCheckCtx(ctx, up.Edits)
 		if err != nil {
 			return false
 		}
@@ -127,6 +141,10 @@ func AED(p core.Problem, opts AEDOptions) *AEDResult {
 
 	// Cardinality 1.
 	for _, a := range apps {
+		if ctx.Err() != nil {
+			res.Canceled = true
+			return res
+		}
 		if res.Explored >= opts.MaxCandidates {
 			res.Exhausted = true
 			return res
@@ -139,6 +157,10 @@ func AED(p core.Problem, opts AEDOptions) *AEDResult {
 	if opts.MaxCombo >= 2 {
 		for i := 0; i < len(apps); i++ {
 			for j := i + 1; j < len(apps); j++ {
+				if ctx.Err() != nil {
+					res.Canceled = true
+					return res
+				}
 				if res.Explored >= opts.MaxCandidates {
 					res.Exhausted = true
 					return res

@@ -15,6 +15,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -47,6 +48,8 @@ type MetaProvResult struct {
 	Regressions int
 	// StillFailing counts originally failing intents that remain failing.
 	StillFailing int
+	// Canceled reports the run was interrupted by its context.
+	Canceled bool
 }
 
 // Correct reports whether the repair fixed the violation without
@@ -63,6 +66,13 @@ func (r *MetaProvResult) Summary() string {
 
 // MetaProv runs the provenance baseline on a repair problem.
 func MetaProv(p core.Problem) *MetaProvResult {
+	return MetaProvContext(context.Background(), p)
+}
+
+// MetaProvContext is MetaProv with cooperative cancellation: the context
+// is checked between leaf-candidate validations and threaded into each
+// incremental check.
+func MetaProvContext(ctx context.Context, p core.Problem) *MetaProvResult {
 	res := &MetaProvResult{FinalConfigs: p.Configs}
 	iv := verify.NewIncremental(p.Topo, p.Configs, p.Intents, bgp.Options{})
 	baseRep := iv.BaseReport()
@@ -103,8 +113,13 @@ func MetaProv(p core.Problem) *MetaProvResult {
 	failingPrefixes := failingDstPrefixes(baseRep)
 	for _, leaf := range leaves {
 		for _, cand := range leafCandidates(iv.BaseFiles(), p.Configs, leaf, failingPrefixes) {
+			if ctx.Err() != nil {
+				res.Canceled = true
+				res.StillFailing = len(failingIDs)
+				return res
+			}
 			res.CandidatesTried++
-			rep, _, err := iv.Check([]netcfg.EditSet{cand.edits})
+			rep, _, err := iv.CheckCtx(ctx, []netcfg.EditSet{cand.edits})
 			if err != nil {
 				continue
 			}

@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"net/netip"
@@ -12,6 +13,9 @@ import (
 type PrefixOutcome struct {
 	Prefix    netip.Prefix
 	Converged bool
+	// Canceled marks an outcome abandoned by cooperative cancellation
+	// (Options.Ctx): neither converged nor genuinely flapping.
+	Canceled bool
 	// Passes is the number of full activation passes executed.
 	Passes int
 	// Final is the stable best-route map (router name → route, absent when
@@ -71,6 +75,18 @@ type Outcome struct {
 	ByPrefix map[netip.Prefix]*PrefixOutcome
 }
 
+// Canceled reports whether any prefix outcome was abandoned by
+// cooperative cancellation. A canceled Outcome reflects a partial
+// computation and must not feed verification decisions.
+func (o *Outcome) Canceled() bool {
+	for _, po := range o.ByPrefix {
+		if po.Canceled {
+			return true
+		}
+	}
+	return false
+}
+
 // Converged reports whether every prefix converged.
 func (o *Outcome) Converged() bool {
 	for _, po := range o.ByPrefix {
@@ -100,6 +116,21 @@ type Options struct {
 	// revisits a state within the bound is reported as not converged with
 	// the tail of observed states as its Cycle.
 	MaxPasses int
+	// Ctx, when non-nil, is checked cooperatively between activation
+	// passes and between prefixes; on cancellation the simulation stops
+	// early and the outcome is marked Canceled. Callers that set a
+	// deadline must treat canceled outcomes as unusable, not as flapping.
+	Ctx context.Context
+	// PrefixHook, when non-nil, runs at the start of every per-prefix
+	// simulation. It exists as a seam for the chaos harness (injected
+	// panics and delays) and for instrumentation; production runs leave
+	// it nil.
+	PrefixHook func(netip.Prefix)
+}
+
+// canceled reports whether the options' context is done.
+func (o Options) canceled() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // Simulate runs the control plane for every originated prefix.
@@ -109,6 +140,10 @@ type Options struct {
 func Simulate(n *Net, opts Options) *Outcome {
 	out := &Outcome{Net: n, ByPrefix: map[netip.Prefix]*PrefixOutcome{}}
 	for _, p := range n.AllPrefixes() {
+		if opts.canceled() {
+			out.ByPrefix[p] = &PrefixOutcome{Prefix: p, Canceled: true}
+			continue
+		}
 		out.ByPrefix[p] = SimulatePrefix(n, p, opts)
 	}
 	return out
@@ -175,6 +210,9 @@ func (st *prefixState) snapshot(order []string) map[string]*Route {
 // session — BGP has no sender-side split horizon for eBGP; receivers rely
 // on AS-path loop detection, applied inside processImport.
 func SimulatePrefix(n *Net, prefix netip.Prefix, opts Options) *PrefixOutcome {
+	if opts.PrefixHook != nil {
+		opts.PrefixHook(prefix)
+	}
 	maxPasses := opts.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 2*len(n.Order) + 20
@@ -187,6 +225,9 @@ func SimulatePrefix(n *Net, prefix netip.Prefix, opts Options) *PrefixOutcome {
 	snaps := []map[string]*Route{} // snapshot after each pass
 
 	for pass := 1; pass <= maxPasses; pass++ {
+		if opts.canceled() {
+			return &PrefixOutcome{Prefix: prefix, Canceled: true, Passes: pass}
+		}
 		changed := false
 		for _, name := range n.Order {
 			if n.activate(st, name, prefix) {

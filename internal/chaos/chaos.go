@@ -1,0 +1,168 @@
+// Package chaos is a deterministic fault-injection harness for the repair
+// pipeline. It wraps the engine's two resilience seams — the per-prefix
+// simulation hook (bgp.Options.PrefixHook) and the validation boundary
+// (core.Options.Chaos) — with seeded fault plans: panics on the Nth
+// prefix simulation, injected delays that trip deadlines, and transient
+// verifier errors that exercise the engine's retry-with-backoff path.
+//
+// Plans are deterministic given their Seed and the engine's own
+// determinism, so a chaos failure reproduces exactly. Typical use:
+//
+//	inj := chaos.New(chaos.Plan{Seed: 1, PanicEveryN: 10})
+//	res := core.RepairContext(ctx, problem, inj.Wire(core.Options{}))
+//	// res.CandidatesPanicked accounts for every injected panic that
+//	// reached a candidate; inj.Stats() accounts for every injection.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"acr/internal/core"
+)
+
+// Plan is a seeded, deterministic fault plan.
+type Plan struct {
+	// Seed drives the probabilistic injections (PanicRate).
+	Seed int64
+	// PanicEveryN injects a panic into every Nth per-prefix simulation
+	// (0 = off). The first injection happens on simulation number N.
+	PanicEveryN int
+	// PanicRate additionally injects a panic into each simulation with
+	// this seeded probability (0 = off).
+	PanicRate float64
+	// MaxPanics caps the total injected panics (0 = unlimited).
+	MaxPanics int
+	// DelayPerSim sleeps this long at the start of every per-prefix
+	// simulation — the knob for tripping deadlines mid-validation.
+	DelayPerSim time.Duration
+	// TransientEveryN returns a retryable error from every Nth validation
+	// attempt at the engine boundary (0 = off).
+	TransientEveryN int
+	// MaxTransients caps the total injected transient errors
+	// (0 = unlimited).
+	MaxTransients int
+}
+
+// Stats counts what the injector actually did.
+type Stats struct {
+	// Simulations counts per-prefix simulations observed.
+	Simulations int
+	// PanicsInjected counts panics raised into the simulator.
+	PanicsInjected int
+	// ValidateCalls counts validation attempts observed at the engine
+	// boundary.
+	ValidateCalls int
+	// TransientsInjected counts retryable errors handed to the engine.
+	TransientsInjected int
+}
+
+// PanicValue is the value an injected panic carries, so recovery sites
+// (and tests) can tell harness panics from real bugs.
+type PanicValue struct {
+	// Sim is the 1-based simulation count at injection time.
+	Sim int
+	// Prefix is the prefix whose simulation was killed.
+	Prefix netip.Prefix
+}
+
+// String renders the panic value.
+func (v PanicValue) String() string {
+	return fmt.Sprintf("chaos: injected panic on simulation %d (prefix %s)", v.Sim, v.Prefix)
+}
+
+// TransientError is a retryable injected fault; it satisfies the engine's
+// Transient() retry contract.
+type TransientError struct {
+	// Call is the 1-based validation-attempt count at injection time.
+	Call int
+}
+
+// Error implements error.
+func (e TransientError) Error() string {
+	return fmt.Sprintf("chaos: injected transient verifier error on attempt %d", e.Call)
+}
+
+// Transient marks the error retryable.
+func (e TransientError) Transient() bool { return true }
+
+// Injector executes a Plan. It is safe for concurrent use; its counters
+// advance in the deterministic order the (deterministic, single-threaded)
+// engine drives it.
+type Injector struct {
+	mu    sync.Mutex
+	plan  Plan
+	rng   *rand.Rand
+	stats Stats
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Wire installs the injector into repair options: the simulator seam
+// (every per-prefix simulation the engine or its verifier performs) and
+// the validation boundary. It returns the modified options.
+func (i *Injector) Wire(opts core.Options) core.Options {
+	opts.SimOpts.PrefixHook = i.PrefixHook
+	opts.Chaos = i
+	return opts
+}
+
+// PrefixHook is the simulator seam: it observes one per-prefix simulation
+// and may sleep (DelayPerSim) or panic (PanicEveryN / PanicRate) per plan.
+func (i *Injector) PrefixHook(p netip.Prefix) {
+	i.mu.Lock()
+	i.stats.Simulations++
+	n := i.stats.Simulations
+	inject := false
+	if i.plan.PanicEveryN > 0 && n%i.plan.PanicEveryN == 0 {
+		inject = true
+	}
+	if i.plan.PanicRate > 0 && i.rng.Float64() < i.plan.PanicRate {
+		inject = true
+	}
+	if inject && i.plan.MaxPanics > 0 && i.stats.PanicsInjected >= i.plan.MaxPanics {
+		inject = false
+	}
+	if inject {
+		i.stats.PanicsInjected++
+	}
+	delay := i.plan.DelayPerSim
+	i.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if inject {
+		panic(PanicValue{Sim: n, Prefix: p})
+	}
+}
+
+// BeforeValidate is the engine-boundary seam (core.FaultInjector): it may
+// return a transient error per plan, which the engine retries with
+// backoff.
+func (i *Injector) BeforeValidate() error {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.stats.ValidateCalls++
+	n := i.stats.ValidateCalls
+	if i.plan.TransientEveryN > 0 && n%i.plan.TransientEveryN == 0 {
+		if i.plan.MaxTransients == 0 || i.stats.TransientsInjected < i.plan.MaxTransients {
+			i.stats.TransientsInjected++
+			return TransientError{Call: n}
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the injection counters.
+func (i *Injector) Stats() Stats {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.stats
+}

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	"acr/internal/bgp"
 	"acr/internal/netcfg"
@@ -27,6 +30,17 @@ const (
 	BruteForce
 )
 
+// FaultInjector is the chaos seam at the engine's validation boundary.
+// Production runs leave Options.Chaos nil; the chaos harness
+// (internal/chaos) implements this to inject transient and fatal faults
+// before validator invocations.
+type FaultInjector interface {
+	// BeforeValidate runs before each validator invocation (including
+	// retries) and may return an error to inject. Errors advertising
+	// Transient() get the engine's retry-with-backoff treatment.
+	BeforeValidate() error
+}
+
 // Options tunes the engine. Zero values select the paper's defaults.
 type Options struct {
 	Formula       sbfl.Formula // default Tarantula
@@ -42,6 +56,31 @@ type Options struct {
 	SimOpts       bgp.Options
 	// FullValidation disables the incremental verifier (ablation).
 	FullValidation bool
+
+	// --- robustness -----------------------------------------------------
+
+	// Deadline, when set, bounds the run by wall-clock time; the engine
+	// stops cooperatively and returns the best-effort repair with
+	// Termination "deadline".
+	Deadline time.Time
+	// MaxWallClock, when positive, bounds the run by a duration measured
+	// from the RepairContext call. Combined with Deadline, the earlier
+	// bound wins.
+	MaxWallClock time.Duration
+	// CandidateTimeout, when positive, bounds each candidate's validation;
+	// a candidate that exceeds it is skipped (counted in
+	// CandidatesTimedOut) without ending the run.
+	CandidateTimeout time.Duration
+	// MaxValidationRetries bounds retries of transient validator faults
+	// per candidate (default 2). Retries back off exponentially starting
+	// at RetryBackoff.
+	MaxValidationRetries int
+	// RetryBackoff is the initial backoff between transient-fault retries
+	// (default 1ms, doubling per retry).
+	RetryBackoff time.Duration
+	// Chaos, when non-nil, injects faults at the validation boundary
+	// (testing only).
+	Chaos FaultInjector
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +107,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Templates == nil {
 		o.Templates = DefaultTemplates()
+	}
+	if o.MaxValidationRetries <= 0 {
+		o.MaxValidationRetries = 2
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = time.Millisecond
 	}
 	return o
 }
@@ -105,7 +150,7 @@ type Result struct {
 	// BaseFailing is the failing-test count before repair.
 	BaseFailing int
 	// Termination explains why the run ended: "feasible", "exhausted"
-	// (S = ∅), or "iteration-cap".
+	// (S = ∅), "iteration-cap", "deadline", or "canceled".
 	Termination string
 	Logs        []IterationLog
 	// CandidatesValidated counts all validator invocations.
@@ -115,6 +160,36 @@ type Result struct {
 	PrefixSimulations int
 	// IntentChecks counts intent re-verifications.
 	IntentChecks int
+
+	// --- robustness -----------------------------------------------------
+
+	// BestEffortConfigs is the best configuration version the run saw:
+	// the feasible update when one was found, otherwise the validated
+	// candidate with the fewest failing intents (the base configs when
+	// nothing improved). A run interrupted by a deadline still hands the
+	// operator a partial repair that strictly reduces failing intents
+	// whenever Improved is true.
+	BestEffortConfigs map[string]*netcfg.Config
+	// BestEffortFitness is the failing-intent count of BestEffortConfigs.
+	BestEffortFitness int
+	// BestEffortApplied narrates the template applications producing
+	// BestEffortConfigs.
+	BestEffortApplied []string
+	// Improved reports BestEffortFitness < BaseFailing.
+	Improved bool
+	// CandidatesPanicked counts candidates quarantined because a template,
+	// parser edit, or simulator panicked while processing them.
+	CandidatesPanicked int
+	// CandidatesTimedOut counts candidates skipped by CandidateTimeout.
+	CandidatesTimedOut int
+	// ValidationRetries counts transient-fault retries at the validation
+	// boundary.
+	ValidationRetries int
+	// Errors collects classified failures (capped; counters above are
+	// complete).
+	Errors []*RepairError
+	// WallClock is the measured run duration.
+	WallClock time.Duration
 }
 
 // Summary renders the result for CLI reports.
@@ -122,6 +197,13 @@ func (r *Result) Summary() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "feasible=%v termination=%s iterations=%d baseFailing=%d validated=%d\n",
 		r.Feasible, r.Termination, r.Iterations, r.BaseFailing, r.CandidatesValidated)
+	if !r.Feasible {
+		fmt.Fprintf(&sb, "  best-effort: fitness=%d improved=%v\n", r.BestEffortFitness, r.Improved)
+	}
+	if r.CandidatesPanicked+r.CandidatesTimedOut+r.ValidationRetries > 0 {
+		fmt.Fprintf(&sb, "  quarantined: panicked=%d timedOut=%d transientRetries=%d\n",
+			r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
+	}
 	for _, a := range r.Applied {
 		fmt.Fprintf(&sb, "  applied: %s\n", a)
 	}
@@ -145,19 +227,87 @@ type proposal struct {
 	fitness int
 }
 
+// errQuarantined marks a candidate removed from the search (panic or
+// per-candidate timeout) without ending the run.
+var errQuarantined = fmt.Errorf("candidate quarantined")
+
 // Repair runs localize–fix–validate (Figure 4) until a feasible update is
 // found, candidates are exhausted, or the iteration cap is hit.
 func Repair(p Problem, opts Options) *Result {
+	return RepairContext(context.Background(), p, opts)
+}
+
+// RepairContext is Repair with cooperative cancellation and wall-clock
+// bounds. The context is checked in every hot loop — between iterations,
+// between candidate validations, inside per-prefix simulation passes — so
+// cancellation and deadlines take effect promptly. The returned Result is
+// always usable: on "deadline" or "canceled" it carries the best-effort
+// repair found so far.
+func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 	opts = opts.withDefaults()
+	start := time.Now()
+	if opts.MaxWallClock > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.MaxWallClock)
+		defer cancel()
+	}
+	if !opts.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline)
+		defer cancel()
+	}
+	// Thread the run context into every base (re)simulation the engine
+	// performs while preserving candidates.
+	opts.SimOpts.Ctx = ctx
+
 	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &Result{FinalConfigs: p.Configs, Termination: "iteration-cap"}
 
-	base := newCandidate(p, p.Configs, nil, opts, rng)
+	best := &bestEffort{fitness: -1}
+	finish := func(term string) *Result {
+		res.Termination = term
+		best.writeTo(res)
+		res.WallClock = time.Since(start)
+		return res
+	}
+	interrupted := func() (string, bool) {
+		switch ctx.Err() {
+		case context.DeadlineExceeded:
+			return "deadline", true
+		case context.Canceled:
+			return "canceled", true
+		}
+		return "", false
+	}
+	abort := func() *Result {
+		term, _ := interrupted()
+		kind := KindDeadline
+		if term == "canceled" {
+			kind = KindCanceled
+		}
+		res.recordError(&RepairError{Kind: kind, Op: "run", Err: ctx.Err()})
+		return finish(term)
+	}
+
+	base := preserve(res, p, p.Configs, nil, opts, rng)
+	if base == nil {
+		// The base version itself could not be verified (persistent panic
+		// or immediate cancellation): nothing to search from.
+		if _, ok := interrupted(); ok {
+			return abort()
+		}
+		return finish("exhausted")
+	}
+	if _, ok := interrupted(); ok {
+		// The base verification may be partial (canceled outcomes): its
+		// fitness is not trustworthy, so report nothing beyond the abort.
+		return abort()
+	}
 	res.BaseFailing = base.fitness
+	best.observe(base.fitness, p.Configs, nil)
 	if base.fitness == 0 {
 		res.Feasible = true
-		res.Termination = "feasible"
-		return res
+		return finish("feasible")
 	}
 	pop := []*candidate{base}
 	prevFitness := base.fitness
@@ -171,6 +321,9 @@ func Repair(p Problem, opts Options) *Result {
 	stagnant := 0
 
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		if _, ok := interrupted(); ok {
+			return abort()
+		}
 		res.Iterations = iter
 		log := IterationLog{Iteration: iter, BestFitness: prevFitness}
 
@@ -178,7 +331,7 @@ func Repair(p Problem, opts Options) *Result {
 		var props []proposal
 		seen := map[string]bool{}
 		for _, member := range pop {
-			mProps := generate(member, opts, widen, rng)
+			mProps := generate(res, member, opts, widen, rng)
 			log.Generated += len(mProps)
 			for _, pr := range mProps {
 				key := signature(member, pr.update)
@@ -198,9 +351,8 @@ func Repair(p Problem, opts Options) *Result {
 				res.Logs = append(res.Logs, log)
 				continue
 			}
-			res.Termination = "exhausted"
 			res.Logs = append(res.Logs, log)
-			return res
+			return finish("exhausted")
 		}
 		limit := opts.CandidateCap * widen
 		if len(props) > limit {
@@ -213,23 +365,18 @@ func Repair(p Problem, opts Options) *Result {
 		// --- Validate -----------------------------------------------------
 		var kept []proposal
 		for i := range props {
-			pr := &props[i]
-			var rep *verify.Report
-			var err error
-			if opts.FullValidation {
-				rep, err = pr.parent.iv.FullCheck(pr.update.Edits)
-				if rep != nil {
-					res.IntentChecks += len(rep.Verdicts)
-					res.PrefixSimulations += len(pr.parent.iv.BaseNet().AllPrefixes())
-				}
-			} else {
-				var stats verify.Stats
-				rep, stats, err = pr.parent.iv.Check(pr.update.Edits)
-				res.PrefixSimulations += stats.PrefixesSimulated
-				res.IntentChecks += stats.IntentsReverified
+			if _, ok := interrupted(); ok {
+				res.Logs = append(res.Logs, log)
+				return abort()
 			}
+			pr := &props[i]
+			rep, err := validateCandidate(ctx, res, pr, opts)
 			if err != nil {
-				continue // malformed candidate (e.g. conflicting edits)
+				if _, ok := interrupted(); ok {
+					res.Logs = append(res.Logs, log)
+					return abort()
+				}
+				continue // malformed or quarantined candidate
 			}
 			res.CandidatesValidated++
 			log.Validated++
@@ -237,11 +384,14 @@ func Repair(p Problem, opts Options) *Result {
 			if pr.fitness < log.BestFitness {
 				log.BestFitness = pr.fitness
 			}
+			if best.fitness < 0 || pr.fitness < best.fitness {
+				best.observe(pr.fitness, applyUpdate(pr.parent.configs, pr.update),
+					append(append([]string{}, pr.parent.descs...), pr.update.Desc))
+			}
 			if pr.fitness == 0 {
 				// Feasible update found (termination condition 1).
 				final := applyUpdate(pr.parent.configs, pr.update)
 				res.Feasible = true
-				res.Termination = "feasible"
 				res.FinalConfigs = final
 				res.Applied = append(append([]string{}, pr.parent.descs...), pr.update.Desc)
 				for d, c := range final {
@@ -251,7 +401,7 @@ func Repair(p Problem, opts Options) *Result {
 				}
 				sort.Strings(res.Diffs)
 				res.Logs = append(res.Logs, log)
-				return res
+				return finish("feasible")
 			}
 			// Discard candidates whose fitness exceeds the previous
 			// iteration's (the paper's preservation rule).
@@ -268,8 +418,7 @@ func Repair(p Problem, opts Options) *Result {
 				widen *= 2
 				continue
 			}
-			res.Termination = "exhausted"
-			return res
+			return finish("exhausted")
 		}
 		if log.BestFitness < bestEver {
 			bestEver = log.BestFitness
@@ -298,30 +447,177 @@ func Repair(p Problem, opts Options) *Result {
 		next := make([]*candidate, 0, len(kept))
 		maxFit := 0
 		for _, pr := range kept {
-			c := newCandidate(p, applyUpdate(pr.parent.configs, pr.update),
+			if _, ok := interrupted(); ok {
+				return abort()
+			}
+			c := preserve(res, p, applyUpdate(pr.parent.configs, pr.update),
 				append(append([]string{}, pr.parent.descs...), pr.update.Desc), opts, rng)
+			if c == nil {
+				continue // preservation quarantined (panic during re-verify)
+			}
 			next = append(next, c)
 			if c.fitness > maxFit {
 				maxFit = c.fitness
 			}
+		}
+		if len(next) == 0 {
+			if _, ok := interrupted(); ok {
+				return abort()
+			}
+			if widen < 8 {
+				widen *= 2
+				continue
+			}
+			return finish("exhausted")
 		}
 		pop = next
 		// "The fitness of an iteration is defined as the largest fitness
 		// among the preserved updates."
 		prevFitness = maxFit
 	}
-	return res
+	return finish(res.Termination)
+}
+
+// bestEffort tracks the best configuration version observed so far, so an
+// interrupted or infeasible run still returns partial progress.
+type bestEffort struct {
+	fitness int // -1 until first observation
+	configs map[string]*netcfg.Config
+	applied []string
+}
+
+func (b *bestEffort) observe(fitness int, configs map[string]*netcfg.Config, applied []string) {
+	if b.fitness >= 0 && fitness >= b.fitness {
+		return
+	}
+	b.fitness = fitness
+	b.configs = configs
+	b.applied = applied
+}
+
+func (b *bestEffort) writeTo(res *Result) {
+	if b.fitness < 0 {
+		// Nothing was ever verified: fall back to the base.
+		res.BestEffortConfigs = res.FinalConfigs
+		res.BestEffortFitness = res.BaseFailing
+		return
+	}
+	res.BestEffortConfigs = b.configs
+	res.BestEffortFitness = b.fitness
+	res.BestEffortApplied = b.applied
+	res.Improved = b.fitness < res.BaseFailing
+	if res.Feasible {
+		res.BestEffortConfigs = res.FinalConfigs
+		res.BestEffortFitness = 0
+		res.BestEffortApplied = res.Applied
+		res.Improved = res.BaseFailing > 0
+	}
+}
+
+// validateCandidate runs one candidate's validation behind the full
+// resilience boundary: chaos injection, transient-fault retries with
+// exponential backoff, panic quarantine, and the per-candidate timeout.
+func validateCandidate(ctx context.Context, res *Result, pr *proposal, opts Options) (*verify.Report, error) {
+	backoff := opts.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt <= opts.MaxValidationRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if opts.Chaos != nil {
+			if err := opts.Chaos.BeforeValidate(); err != nil {
+				if IsTransient(err) {
+					lastErr = err
+					res.ValidationRetries++
+					res.recordError(&RepairError{Kind: KindTransient, Op: "validate", Candidate: pr.update.Desc, Err: err})
+					sleepCtx(ctx, backoff)
+					backoff *= 2
+					continue
+				}
+				return nil, err
+			}
+		}
+		rep, err := checkOnce(ctx, res, pr, opts)
+		if err != nil && IsTransient(err) {
+			lastErr = err
+			res.ValidationRetries++
+			res.recordError(&RepairError{Kind: KindTransient, Op: "validate", Candidate: pr.update.Desc, Err: err})
+			sleepCtx(ctx, backoff)
+			backoff *= 2
+			continue
+		}
+		return rep, err
+	}
+	return nil, lastErr
+}
+
+// checkOnce performs one validator invocation with panic quarantine and
+// the per-candidate timeout.
+func checkOnce(ctx context.Context, res *Result, pr *proposal, opts Options) (rep *verify.Report, err error) {
+	cctx := ctx
+	if opts.CandidateTimeout > 0 {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithTimeout(ctx, opts.CandidateTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.CandidatesPanicked++
+			res.recordError(&RepairError{
+				Kind:      KindCandidatePanic,
+				Op:        "validate",
+				Candidate: pr.update.Desc,
+				Err:       fmt.Errorf("panic: %v", rec),
+				Stack:     debug.Stack(),
+			})
+			rep, err = nil, errQuarantined
+		}
+	}()
+	if opts.FullValidation {
+		rep, err = pr.parent.iv.FullCheckCtx(cctx, pr.update.Edits)
+		if rep != nil {
+			res.IntentChecks += len(rep.Verdicts)
+			res.PrefixSimulations += len(pr.parent.iv.BaseNet().AllPrefixes())
+		}
+	} else {
+		var stats verify.Stats
+		rep, stats, err = pr.parent.iv.CheckCtx(cctx, pr.update.Edits)
+		res.PrefixSimulations += stats.PrefixesSimulated
+		res.IntentChecks += stats.IntentsReverified
+	}
+	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
+		// The candidate's own timeout tripped, not the run's: quarantine
+		// just this candidate.
+		res.CandidatesTimedOut++
+		res.recordError(&RepairError{Kind: KindCandidateTimeout, Op: "validate", Candidate: pr.update.Desc, Err: err})
+		err = errQuarantined
+	}
+	return rep, err
+}
+
+// sleepCtx sleeps for d or until the context is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
 }
 
 // generate produces this member's proposals: template applications at
 // suspicious lines, sampled under the evolutionary strategy, plus simple
-// crossovers merging disjoint-device proposals.
-func generate(member *candidate, opts Options, widen int, rng *rand.Rand) []proposal {
+// crossovers merging disjoint-device proposals. Each template application
+// is panic-isolated: a panicking template poisons only its own proposals.
+func generate(res *Result, member *candidate, opts Options, widen int, rng *rand.Rand) []proposal {
 	sus := sbfl.Suspicious(member.ctx.Ranks, opts.TopKLines*widen, opts.MinSusp)
 	var props []proposal
 	for _, sc := range sus {
 		for _, tmpl := range opts.Templates {
-			for _, up := range tmpl.Generate(member.ctx, sc.Line) {
+			for _, up := range safeGenerate(res, tmpl, member.ctx, sc.Line) {
 				props = append(props, proposal{parent: member, update: up})
 			}
 		}
@@ -343,6 +639,24 @@ func generate(member *candidate, opts Options, widen int, rng *rand.Rand) []prop
 	return props
 }
 
+// safeGenerate quarantines panics of one template application.
+func safeGenerate(res *Result, tmpl Template, ctx *Context, line netcfg.LineRef) (ups []Update) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			res.CandidatesPanicked++
+			res.recordError(&RepairError{
+				Kind:      KindCandidatePanic,
+				Op:        "generate",
+				Candidate: fmt.Sprintf("%s@%s", tmpl.Name(), line),
+				Err:       fmt.Errorf("panic: %v", rec),
+				Stack:     debug.Stack(),
+			})
+			ups = nil
+		}
+	}()
+	return tmpl.Generate(ctx, line)
+}
+
 // mergeUpdates combines two updates when they touch disjoint devices.
 func mergeUpdates(a, b Update) (Update, bool) {
 	devs := map[string]bool{}
@@ -361,6 +675,43 @@ func mergeUpdates(a, b Update) (Update, bool) {
 		Edits: append(append([]netcfg.EditSet{}, a.Edits...), b.Edits...),
 		Desc:  a.Desc + " + " + b.Desc,
 	}, true
+}
+
+// preserve fully verifies one configuration version and builds its
+// localization context, with panic quarantine: a version whose
+// re-verification panics (a simulator bug, or an injected chaos fault) is
+// dropped from the population instead of killing the run. The base version
+// additionally gets retries, since without it there is no search at all.
+func preserve(res *Result, p Problem, configs map[string]*netcfg.Config, descs []string, opts Options, rng *rand.Rand) *candidate {
+	attempts := 1
+	if descs == nil { // the base version
+		attempts = 1 + opts.MaxValidationRetries
+	}
+	for a := 0; a < attempts; a++ {
+		c := func() (c *candidate) {
+			defer func() {
+				if rec := recover(); rec != nil {
+					res.CandidatesPanicked++
+					res.recordError(&RepairError{
+						Kind:      KindCandidatePanic,
+						Op:        "preserve",
+						Candidate: strings.Join(descs, " + "),
+						Err:       fmt.Errorf("panic: %v", rec),
+						Stack:     debug.Stack(),
+					})
+					c = nil
+				}
+			}()
+			return newCandidate(p, configs, descs, opts, rng)
+		}()
+		if c != nil {
+			return c
+		}
+		if opts.SimOpts.Ctx != nil && opts.SimOpts.Ctx.Err() != nil {
+			return nil
+		}
+	}
+	return nil
 }
 
 // newCandidate fully verifies one configuration version and builds its

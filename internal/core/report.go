@@ -20,6 +20,18 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 	}
 	fmt.Fprintf(&sb, "result: %s\n", status)
 	fmt.Fprintf(&sb, "failing tests before repair: %d\n", r.BaseFailing)
+	if !r.Feasible && r.BestEffortConfigs != nil {
+		if r.Improved {
+			fmt.Fprintf(&sb, "best effort: %d failing tests (down from %d) — partial repair available\n",
+				r.BestEffortFitness, r.BaseFailing)
+		} else {
+			fmt.Fprintf(&sb, "best effort: no improvement over the base configuration\n")
+		}
+	}
+	if r.CandidatesPanicked > 0 || r.CandidatesTimedOut > 0 || r.ValidationRetries > 0 {
+		fmt.Fprintf(&sb, "quarantined: %d panicked, %d timed out; validation retries: %d\n",
+			r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
+	}
 	fmt.Fprintf(&sb, "iterations: %d  candidates validated: %d  prefix simulations: %d  intent checks: %d\n\n",
 		r.Iterations, r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
 

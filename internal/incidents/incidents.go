@@ -273,6 +273,18 @@ type RunResult struct {
 	// LocalizationRank is the best (smallest) SBFL rank over the ground
 	// truth lines, computed on the faulty configuration (0 = not ranked).
 	LocalizationRank int
+	// Termination is how the run ended ("feasible", "exhausted",
+	// "iteration-cap", "deadline", "canceled").
+	Termination string
+	// Improved reports whether the best-effort repair fixes at least one
+	// failing intent even when infeasible.
+	Improved bool
+	// CandidatesPanicked / CandidatesTimedOut / ValidationRetries expose
+	// the engine's robustness counters (nonzero under fault injection or
+	// hostile templates).
+	CandidatesPanicked int
+	CandidatesTimedOut int
+	ValidationRetries  int
 }
 
 // Run repairs one incident with the engine and collects metrics.
@@ -287,6 +299,11 @@ func Run(inc *Incident, opts core.Options) *RunResult {
 	res.CandidatesValidated = r.CandidatesValidated
 	res.PrefixSimulations = r.PrefixSimulations
 	res.IntentChecks = r.IntentChecks
+	res.Termination = r.Termination
+	res.Improved = r.Improved
+	res.CandidatesPanicked = r.CandidatesPanicked
+	res.CandidatesTimedOut = r.CandidatesTimedOut
+	res.ValidationRetries = r.ValidationRetries
 	return res
 }
 
@@ -312,6 +329,12 @@ type Stats struct {
 	Top1, Top5, Top10 int
 	MeanIterations    float64
 	MeanValidated     float64
+	// Improved counts infeasible-but-improved runs; the robustness
+	// counters sum the engine's quarantine/retry tallies over the corpus.
+	Improved           int
+	CandidatesPanicked int
+	ValidationRetries  int
+	TimedOut           int // runs ending on "deadline" or "canceled"
 }
 
 // Aggregate computes corpus statistics. Incidents whose injection caused
@@ -328,7 +351,14 @@ func Aggregate(results []*RunResult) Stats {
 		s.Visible++
 		if r.Feasible {
 			s.Repaired++
+		} else if r.Improved {
+			s.Improved++
 		}
+		if r.Termination == "deadline" || r.Termination == "canceled" {
+			s.TimedOut++
+		}
+		s.CandidatesPanicked += r.CandidatesPanicked
+		s.ValidationRetries += r.ValidationRetries
 		switch {
 		case r.LocalizationRank == 1:
 			s.Top1++

@@ -1,0 +1,70 @@
+package netcfg
+
+import (
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the parser and checks the robustness
+// contract the repair engine depends on:
+//
+//   - Parse never panics and never returns a nil File, no matter how
+//     broken the input (broken lines are repair candidates, so analyses
+//     must keep going on partial ASTs);
+//   - Validate never panics on a partially parsed File;
+//   - the document round-trip (Config.Text → NewConfig → Parse) is
+//     stable: the reprinted text reprints identically and parses to the
+//     same verdict.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		routerAText,
+		"",
+		"\n\n\n",
+		"# only a comment\n",
+		"bgp 65001\n",
+		"bgp 65001\n router-id 1.0.0.1\n peer 10.0.0.2 as-number 64601\n",
+		"bgp not-a-number\n",
+		"bgp 65001\n peer 10.0.0.999 as-number 1\n",
+		"route-policy P permit node 10\n match ip-prefix pl\n apply local-preference 200\n",
+		"route-policy P deny node nope\n",
+		"ip prefix-list pl index 10 permit 10.0.0.0/8 le 24\n",
+		"ip prefix-list pl index ten permit 10.0.0.0/8\n",
+		"ip route static 10.0.0.0/8 next-hop 10.1.1.2\n",
+		"pbr policy P\n if source 10.0.0.0/8 then next-hop 10.1.1.2\n",
+		"interface eth0\n ip address 10.1.1.1/30\n",
+		"interface eth0\n shutdown\n",
+		"   leading indentation\n",
+		"unknown keyword soup\n",
+		"bgp 65001\n\tpeer 10.0.0.2 as-number 1\n", // tab, not space
+		"bgp 65001\n  peer 10.0.0.2\n   orphan deep indent\n",
+		"route-policy P permit node 10\nroute-policy P permit node 10\n",
+		"bgp 1\nbgp 2\n",
+		"peer 10.0.0.2 as-number 1\n", // body line at top level
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c := NewConfig("fuzz", text)
+		file, err := Parse(c) // must not panic
+		if file == nil {
+			t.Fatal("Parse returned nil File")
+		}
+		_ = file.Validate() // must not panic on partial ASTs
+
+		// Round-trip: print and reparse.
+		printed := NewConfig("fuzz", c.Text())
+		if printed.Text() != c.Text() {
+			t.Fatalf("reprint not stable:\n%q\nvs\n%q", printed.Text(), c.Text())
+		}
+		file2, err2 := Parse(printed)
+		if file2 == nil {
+			t.Fatal("reparse returned nil File")
+		}
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("parse verdict changed across reprint: %v vs %v", err, err2)
+		}
+		if err != nil && err.Error() != err2.Error() {
+			t.Fatalf("parse errors changed across reprint:\n%v\nvs\n%v", err, err2)
+		}
+	})
+}

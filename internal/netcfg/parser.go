@@ -67,7 +67,10 @@ func (p *parser) indent(i int) (int, string) {
 }
 
 func skippable(s string) bool {
-	return s == "" || strings.HasPrefix(s, "#")
+	// TrimSpace, not just the == "" check: indent() only strips spaces, so
+	// content may still be all tabs/form-feeds — on which strings.Fields
+	// returns an empty slice and the keyword dispatch would index past it.
+	return strings.TrimSpace(s) == "" || strings.HasPrefix(s, "#")
 }
 
 func (p *parser) run() {

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -138,6 +139,17 @@ func prefixLiterals(line string) []netip.Prefix {
 // report covers every intent (cached verdicts are reused for unaffected
 // ones). The base is not modified.
 func (iv *Incremental) Check(edits []netcfg.EditSet) (*Report, Stats, error) {
+	return iv.CheckCtx(context.Background(), edits)
+}
+
+// CheckCtx is Check with cooperative cancellation: the context is checked
+// between per-prefix simulations and threaded into the simulation passes,
+// so a deadline interrupts validation mid-candidate. On cancellation it
+// returns the context's error and no report.
+func (iv *Incremental) CheckCtx(ctx context.Context, edits []netcfg.EditSet) (*Report, Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, Stats{}, err
+	}
 	newConfigs, err := iv.applyEdits(edits)
 	if err != nil {
 		return nil, Stats{}, err
@@ -231,10 +243,19 @@ func (iv *Incremental) Check(edits []netcfg.EditSet) (*Report, Stats, error) {
 	}
 
 	stats := Stats{PrefixesTotal: len(newAll), IntentsTotal: len(iv.Intents), Broad: broad}
+	simOpts := iv.SimOpts
+	simOpts.Ctx = ctx
 	newOut := &bgp.Outcome{Net: newNet, ByPrefix: map[netip.Prefix]*bgp.PrefixOutcome{}}
 	for _, p := range newAll {
 		if broad || affected[p] {
-			newOut.ByPrefix[p] = bgp.SimulatePrefix(newNet, p, iv.SimOpts)
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+			po := bgp.SimulatePrefix(newNet, p, simOpts)
+			if po.Canceled {
+				return nil, stats, ctx.Err()
+			}
+			newOut.ByPrefix[p] = po
 			stats.PrefixesSimulated++
 		} else {
 			newOut.ByPrefix[p] = iv.out.ByPrefix[p]
@@ -255,6 +276,9 @@ func (iv *Incremental) Check(edits []netcfg.EditSet) (*Report, Stats, error) {
 	}
 	rep := &Report{Verdicts: make([]Verdict, len(iv.Intents))}
 	for i, in := range iv.Intents {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		base := iv.report.Verdicts[i]
 		if broad || iv.intentAffected(base, in, affected, editedLines) {
 			rep.Verdicts[i] = checkIntent(newNet, newOut, in)
@@ -300,6 +324,14 @@ func sessionFingerprint(n *bgp.Net) string {
 // FullCheck verifies the base with edits applied from scratch — no reuse.
 // It exists for the incremental-vs-full ablation.
 func (iv *Incremental) FullCheck(edits []netcfg.EditSet) (*Report, error) {
+	return iv.FullCheckCtx(context.Background(), edits)
+}
+
+// FullCheckCtx is FullCheck with cooperative cancellation.
+func (iv *Incremental) FullCheckCtx(ctx context.Context, edits []netcfg.EditSet) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	newConfigs, err := iv.applyEdits(edits)
 	if err != nil {
 		return nil, err
@@ -310,7 +342,12 @@ func (iv *Incremental) FullCheck(edits []netcfg.EditSet) (*Report, error) {
 		files[d] = f
 	}
 	n := bgp.Compile(iv.Topo, files)
-	out := bgp.Simulate(n, iv.SimOpts)
+	simOpts := iv.SimOpts
+	simOpts.Ctx = ctx
+	out := bgp.Simulate(n, simOpts)
+	if out.Canceled() {
+		return nil, ctx.Err()
+	}
 	return Verify(n, out, iv.Intents), nil
 }
 
