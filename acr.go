@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"acr/internal/analysis"
 	"acr/internal/baselines"
 	"acr/internal/bgp"
 	"acr/internal/core"
@@ -74,7 +75,31 @@ type (
 	SimOptions = bgp.Options
 	// Outcome is a control-plane simulation result.
 	Outcome = bgp.Outcome
+	// Diagnostic is one static-analysis finding.
+	Diagnostic = analysis.Diagnostic
+	// Severity grades a Diagnostic.
+	Severity = analysis.Severity
+	// LintResult is a static-analysis run's outcome.
+	LintResult = analysis.Result
+	// StaticAnalyzer is one pluggable static check.
+	StaticAnalyzer = analysis.Analyzer
 )
+
+// Static-analysis helpers, re-exported.
+var (
+	// StaticAnalyzers lists the full analyzer registry.
+	StaticAnalyzers = analysis.Analyzers
+	// ParseSeverity parses "info", "warning", or "error".
+	ParseSeverity = analysis.ParseSeverity
+)
+
+// Lint statically analyzes the case's configurations with every registered
+// analyzer — no simulation, no intents — and returns the diagnostics. This
+// is the `acr lint` entry point; the repair engine runs the same analyzers
+// internally as a localization prior (see RepairOptions.NoStaticPrior).
+func Lint(c *Case) *LintResult {
+	return analysis.Analyze(c.Topo, c.Configs, nil)
+}
 
 // Intent constructors, re-exported.
 var (

@@ -5,8 +5,12 @@
 //
 //	acr verify   (-builtin <name> | -dir <casedir>)
 //	acr simulate (-builtin <name> | -dir <casedir>)
+//	acr lint     (-builtin <name> | -dir <casedir>) [-json] [-severity info]
 //	acr localize (-builtin <name> | -dir <casedir>) [-formula tarantula] [-top 15]
 //	acr repair   (-builtin <name> | -dir <casedir>) [-strategy evolutionary] [-seed 0] [-out <dir>]
+//
+// lint exits 0 when clean, 1 when findings are at or above the -severity
+// threshold, and 2 when a configuration failed to parse.
 //
 // Builtins: figure2 (the paper's worked incident), figure2-repaired,
 // dcn4, wan. Case directories follow the format documented in
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +42,8 @@ func main() {
 		err = runVerify(args)
 	case "simulate":
 		err = runSimulate(args)
+	case "lint":
+		err = runLint(args)
 	case "localize":
 		err = runLocalize(args)
 	case "repair":
@@ -52,7 +59,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|localize|repair> [flags]
+	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair> [flags]
   -builtin figure2|figure2-repaired|dcn4|wan   use a built-in case
   -dir <casedir>                               load a case directory
 run "acr <cmd> -h" for command flags`)
@@ -124,6 +131,46 @@ func runSimulate(args []string) error {
 		fmt.Fprintln(os.Stderr, "acr: warning:", err)
 	}
 	fmt.Print(out.Describe())
+	return nil
+}
+
+func runLint(args []string) error {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	builtin, dir := caseFlags(fs)
+	asJSON := fs.Bool("json", false, "emit the result as JSON")
+	sevFlag := fs.String("severity", "info", "minimum severity to report: info, warning, error")
+	fs.Parse(args)
+	min, err := acr.ParseSeverity(*sevFlag)
+	if err != nil {
+		return err
+	}
+	c, err := loadCase(*builtin, *dir)
+	if err != nil {
+		// A case that cannot be loaded is indistinguishable from one that
+		// cannot be parsed: exit 2, like a parse error.
+		fmt.Fprintln(os.Stderr, "acr:", err)
+		os.Exit(2)
+	}
+	res := acr.Lint(c)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Case string `json:"case"`
+			*acr.LintResult
+		}{c.Name, res}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("case %s: %d device(s)\n", c.Name, len(c.Configs))
+		fmt.Print(res.Format(min))
+	}
+	switch {
+	case len(res.ParseErrors) > 0:
+		os.Exit(2)
+	case len(res.Filter(min)) > 0:
+		os.Exit(1)
+	}
 	return nil
 }
 

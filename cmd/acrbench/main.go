@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|all [-size 48] [-seed 1]
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|all [-size 48] [-seed 1]
 package main
 
 import (
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, hypothesis, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	flag.Parse()
@@ -45,6 +45,7 @@ func main() {
 		{"fig3", fig3},
 		{"fig4", fig4},
 		{"ablations", ablations},
+		{"staticprior", staticPrior},
 		{"hypothesis", hypothesis},
 	} {
 		if *exp == e.name || *exp == "all" {
@@ -296,6 +297,39 @@ func ablations(size int, seed int64) {
 	fmt.Printf("  %s\n", aed.Summary())
 }
 
+// staticPrior quantifies the static-analysis localization prior: per
+// incident, a repair with the prior vs the ablated run, with the pruning
+// counters that explain the saving (candidates skipped, iterations saved).
+func staticPrior(size int, seed int64) {
+	incs := corpus(min(size, 24), seed)
+	fmt.Printf("%-34s %6s %12s %12s %10s %10s %8s\n",
+		"incident", "diags", "validated", "(no prior)", "iters", "(no prior)", "pruned")
+	totOn, totOff, saved := 0, 0, 0
+	for _, inc := range incs {
+		c := acr.IncidentCase(inc)
+		on := acr.Repair(c, acr.RepairOptions{Strategy: core.BruteForce, Seed: seed})
+		if on.BaseFailing == 0 {
+			continue // injection invisible to the intent suite
+		}
+		off := acr.Repair(c, acr.RepairOptions{Strategy: core.BruteForce, Seed: seed, NoStaticPrior: true})
+		totOn += on.CandidatesValidated
+		totOff += off.CandidatesValidated
+		saved += off.CandidatesValidated - on.CandidatesValidated
+		fmt.Printf("%-34s %6d %12d %12d %10d %10d %8d\n",
+			inc.ID, on.StaticDiagnostics, on.CandidatesValidated, off.CandidatesValidated,
+			on.Iterations, off.Iterations, on.TemplatesPrunedStatic)
+	}
+	if totOff > 0 {
+		fmt.Printf("total candidates validated: %d with prior vs %d without (%d saved, %.0f%%)\n",
+			totOn, totOff, saved, 100*float64(saved)/float64(totOff))
+	}
+	fmt.Println("\nfigure2:")
+	on := acr.Repair(acr.Figure2Incident(), acr.RepairOptions{Strategy: core.BruteForce})
+	off := acr.Repair(acr.Figure2Incident(), acr.RepairOptions{Strategy: core.BruteForce, NoStaticPrior: true})
+	fmt.Printf("  with prior:    %s", on.Summary())
+	fmt.Printf("  without prior: %s", off.Summary())
+}
+
 // hypothesis measures the §6 plastic surgery hypothesis: intra-role vs
 // inter-role configuration similarity, and the role-consensus lines a
 // deviant device lacks.
@@ -320,11 +354,4 @@ func hypothesis(int, int64) {
 		fmt.Printf("  %-40s e.g. %q (from %s, %.0f%% of peers)\n",
 			m.Normalized, m.Example, m.FromDevice, 100*m.PeerShare)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,403 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"acr/internal/netcfg"
+)
+
+// sprintf keeps message construction in the analyzer bodies terse.
+var sprintf = fmt.Sprintf
+
+// Table 1 error classes, spelled exactly as the change templates in
+// internal/core report them — the engine matches Diagnostic.Class against
+// Template.ErrorClass when pruning candidates.
+const (
+	ClassMissingRedistribution = "Missing redistribution of static route"
+	ClassMissingPBRPermit      = "Missing permit rules in PBR"
+	ClassExtraPBRRedirect      = "Extra redirect rule in PBR"
+	ClassMissingPeerGroup      = "Missing peer group"
+	ClassExtraPeerGroupItem    = "Extra items in peer group"
+	ClassMissingRoutingPolicy  = "Missing a routing policy"
+	ClassLeftoverRouteMap      = "Fail to dis-enable route map"
+	ClassWrongASNumber         = "Override to wrong AS number"
+	ClassMissingPrefixListItem = "Missing items in ip prefix-list"
+)
+
+// DanglingPolicyRef flags route-policy attachments (peer, peer-group, or
+// redistribute) whose policy is not defined on the device: the attachment
+// silently filters everything, the "missing a routing policy" class.
+var DanglingPolicyRef = &Analyzer{
+	Name:  "dangling-policy-ref",
+	Doc:   "route-policy attached but not defined on the device",
+	Class: ClassMissingRoutingPolicy,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			defined := f.PolicyNames()
+			for _, site := range f.PolicyAttachSites() {
+				if !defined[site.Policy] && site.Line > 0 {
+					p.Reportf(netcfg.LineRef{Device: dev, Line: site.Line},
+						"route-policy %q is not defined (attached to %s)", site.Policy, site.Where)
+				}
+			}
+		}
+	},
+}
+
+// DanglingPrefixList flags `match ip-prefix` clauses naming a list with no
+// entries: the match can never hold, so the node is dead.
+var DanglingPrefixList = &Analyzer{
+	Name:  "dangling-prefix-list",
+	Doc:   "route-policy matches a prefix-list with no entries",
+	Class: ClassMissingPrefixListItem,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			lists := f.PrefixListNames()
+			for _, pol := range f.Policies {
+				for _, m := range pol.Matches {
+					if m.Kind == netcfg.MatchIPPrefix && !lists[m.PrefixList] && m.Line > 0 {
+						p.Reportf(netcfg.LineRef{Device: dev, Line: m.Line},
+							"prefix-list %q is not defined (matched by route-policy %s node %d)",
+							m.PrefixList, pol.Name, pol.Node)
+					}
+				}
+			}
+		}
+	},
+}
+
+// DanglingPBRBinding flags interfaces bound to a PBR policy that is not
+// defined on the device.
+var DanglingPBRBinding = &Analyzer{
+	Name:  "dangling-pbr-binding",
+	Doc:   "interface applies a pbr policy that is not defined",
+	Class: ClassMissingPBRPermit,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			for _, itf := range f.Interfaces {
+				if itf.PBRPolicy != "" && f.PBRPolicyByName(itf.PBRPolicy) == nil && itf.PBRLine > 0 {
+					p.Reportf(netcfg.LineRef{Device: dev, Line: itf.PBRLine},
+						"pbr policy %q is not defined (applied on interface %s)", itf.PBRPolicy, itf.Name)
+				}
+			}
+		}
+	},
+}
+
+// DuplicatePeer flags a neighbor address configured more than once inside
+// one bgp block — the later stanza silently shadows the earlier one.
+var DuplicatePeer = &Analyzer{
+	Name: "duplicate-peer",
+	Doc:  "the same neighbor address is configured twice",
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil || f.BGP == nil {
+				continue
+			}
+			seen := map[netip.Addr]bool{}
+			for _, pe := range f.BGP.Peers {
+				if seen[pe.Addr] {
+					line := pe.ASNLine
+					if line == 0 {
+						line = pe.GroupLine
+					}
+					if line == 0 {
+						line = f.BGP.Line
+					}
+					p.Reportf(netcfg.LineRef{Device: dev, Line: line}, "duplicate peer %s", pe.Addr)
+				}
+				seen[pe.Addr] = true
+			}
+		}
+	},
+}
+
+// ShadowedPrefixList flags a prefix-list entry that covers everything a
+// later-index entry of the same list matches: first match wins, so the
+// later entry is unreachable. This is the Figure 2 misconfiguration — the
+// over-broad `0.0.0.0/0 le 32` entry swallowing the restricted one.
+var ShadowedPrefixList = &Analyzer{
+	Name:  "shadowed-prefix-list",
+	Doc:   "an earlier prefix-list entry makes a later entry unreachable",
+	Class: ClassMissingPrefixListItem,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			for _, name := range sortedListNames(f) {
+				entries := f.PrefixListEntries(name)
+				for i, e := range entries {
+					for _, o := range entries[i+1:] {
+						if e.Line > 0 && e.Covers(o) {
+							p.Report(Diagnostic{
+								Line: netcfg.LineRef{Device: dev, Line: e.Line},
+								Message: sprintf("prefix-list %q index %d (%s) covers index %d (%s): the later entry is unreachable",
+									name, e.Index, entryShape(e), o.Index, entryShape(o)),
+								Related: []netcfg.LineRef{{Device: dev, Line: o.Line}},
+							})
+							break // one finding per shadowing entry
+						}
+					}
+				}
+			}
+		}
+	},
+}
+
+// DormantPolicy flags attached route-policies that statically deny every
+// route (every node is a deny) — the "fail to dis-enable route map"
+// pattern: a maintenance deny-all left attached after the maintenance
+// window. Defined-but-unattached deny-all policies are deliberate dormant
+// state and are not flagged.
+var DormantPolicy = &Analyzer{
+	Name:  "dormant-policy",
+	Doc:   "an attached route-policy denies every route",
+	Class: ClassLeftoverRouteMap,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			for _, site := range f.PolicyAttachSites() {
+				nodes := f.PolicyNodes(site.Policy)
+				if len(nodes) == 0 || site.Line <= 0 {
+					continue // dangling: DanglingPolicyRef's finding
+				}
+				denyAll := true
+				for _, n := range nodes {
+					if n.Permit {
+						denyAll = false
+					}
+				}
+				if denyAll {
+					p.Report(Diagnostic{
+						Line: netcfg.LineRef{Device: dev, Line: site.Line},
+						Message: sprintf("route-policy %q attached to %s denies every route (left-over maintenance policy?)",
+							site.Policy, site.Where),
+						Related: []netcfg.LineRef{{Device: dev, Line: nodes[0].Line}},
+					})
+				}
+			}
+		}
+	},
+}
+
+// MissingRedistribution flags static routes on a BGP speaker that are
+// neither redistributed (`redistribute static`) nor covered by a `network`
+// statement: the prefix is routable locally but invisible to peers.
+var MissingRedistribution = &Analyzer{
+	Name:  "missing-redistribution",
+	Doc:   "static routes exist but are not redistributed into BGP",
+	Class: ClassMissingRedistribution,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil || f.BGP == nil || f.BGP.Redistribute != nil || len(f.Statics) == 0 {
+				continue
+			}
+			for _, s := range f.Statics {
+				if !s.Prefix.IsValid() || s.Line <= 0 {
+					continue
+				}
+				covered := false
+				for _, n := range f.BGP.Networks {
+					if n.Prefix.IsValid() && n.Prefix.Overlaps(s.Prefix) {
+						covered = true
+					}
+				}
+				if !covered {
+					p.Reportf(netcfg.LineRef{Device: dev, Line: s.Line},
+						"static route %s is not advertised: bgp %d has no `redistribute static` and no covering network statement",
+						s.Prefix, f.BGP.ASN)
+				}
+			}
+		}
+	},
+}
+
+// ShadowedPBRRule flags a PBR rule whose match set covers everything a
+// later-index rule matches: the later rule can never apply. An injected
+// redirect without the original's port qualifier lands here — the "extra
+// redirect rule" class.
+var ShadowedPBRRule = &Analyzer{
+	Name:  "shadowed-pbr-rule",
+	Doc:   "an earlier pbr rule makes a later rule unreachable",
+	Class: ClassExtraPBRRedirect,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			for _, pol := range f.PBRPolicies {
+				rules := append([]*netcfg.PBRRule(nil), pol.Rules...)
+				sort.SliceStable(rules, func(i, j int) bool { return rules[i].Index < rules[j].Index })
+				for i, r := range rules {
+					for _, o := range rules[i+1:] {
+						if r.Line > 0 && ruleCovers(r, o) {
+							p.Report(Diagnostic{
+								Line: netcfg.LineRef{Device: dev, Line: r.Line},
+								Message: sprintf("pbr policy %q rule %d covers rule %d: the later rule is unreachable",
+									pol.Name, r.Index, o.Index),
+								Related: []netcfg.LineRef{{Device: dev, Line: o.Line}},
+							})
+							break
+						}
+					}
+				}
+			}
+		}
+	},
+}
+
+// UnfilteredPBRPolicy flags a PBR policy bound to an interface with no
+// permit rules left: the policy steers nothing, the "missing permit rules"
+// class (a deleted scrubber redirect leaves exactly this shape).
+var UnfilteredPBRPolicy = &Analyzer{
+	Name:  "pbr-no-permit",
+	Doc:   "a bound pbr policy has no permit rules",
+	Class: ClassMissingPBRPermit,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil {
+				continue
+			}
+			for _, itf := range f.Interfaces {
+				if itf.PBRPolicy == "" {
+					continue
+				}
+				pol := f.PBRPolicyByName(itf.PBRPolicy)
+				if pol == nil || pol.Line <= 0 {
+					continue // dangling: DanglingPBRBinding's finding
+				}
+				permits := 0
+				for _, r := range pol.Rules {
+					if r.Permit {
+						permits++
+					}
+				}
+				if permits == 0 {
+					p.Report(Diagnostic{
+						Line: netcfg.LineRef{Device: dev, Line: pol.Line},
+						Message: sprintf("pbr policy %q is applied on interface %s but has no permit rules: it steers nothing",
+							pol.Name, itf.Name),
+						Related: []netcfg.LineRef{{Device: dev, Line: itf.PBRLine}},
+					})
+				}
+			}
+		}
+	},
+}
+
+// ASOverrideMismatch flags `apply as-path overwrite <asn>` clauses whose
+// ASN is not the device's own AS: overwriting with a foreign AS forges the
+// path origin (the benign idiom overwrites with the local AS to hide an
+// internal hop).
+var ASOverrideMismatch = &Analyzer{
+	Name:  "as-override-mismatch",
+	Doc:   "as-path overwrite uses an AS other than the device's own",
+	Class: ClassWrongASNumber,
+	Run: func(p *Pass) {
+		for _, dev := range p.Devices() {
+			f := p.File(dev)
+			if f == nil || f.BGP == nil || f.BGP.ASN == 0 {
+				continue
+			}
+			for _, pol := range f.Policies {
+				for _, a := range pol.Applies {
+					if a.Kind == netcfg.ApplyASPathOverwrite && a.ASN != 0 && a.ASN != f.BGP.ASN && a.Line > 0 {
+						p.Report(Diagnostic{
+							Line:     netcfg.LineRef{Device: dev, Line: a.Line},
+							Severity: Warning,
+							Message: sprintf("route-policy %s node %d overwrites AS_PATH with %d, but this device is AS %d",
+								pol.Name, pol.Node, a.ASN, f.BGP.ASN),
+						})
+					}
+				}
+			}
+		}
+	},
+}
+
+// sortedListNames returns the distinct prefix-list names of a file, sorted.
+func sortedListNames(f *netcfg.File) []string {
+	names := f.PrefixListNames()
+	out := make([]string, 0, len(names))
+	for n := range names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// entryShape renders an entry's matching shape for messages.
+func entryShape(e *netcfg.PrefixList) string {
+	s := e.Prefix.String()
+	if e.GE > 0 {
+		s += sprintf(" ge %d", e.GE)
+	}
+	if e.LE > 0 {
+		s += sprintf(" le %d", e.LE)
+	}
+	return s
+}
+
+// ruleCovers reports whether every packet matched by rule o is also
+// matched by rule r: per dimension, r's constraint must be at least as
+// broad as o's (a missing constraint matches everything).
+func ruleCovers(r, o *netcfg.PBRRule) bool {
+	if r.MatchSource != nil && !prefixMatchCovers(r.MatchSource, o.MatchSource) {
+		return false
+	}
+	if r.MatchDest != nil && !prefixMatchCovers(r.MatchDest, o.MatchDest) {
+		return false
+	}
+	if r.MatchProto != nil && r.MatchProto.Proto != "any" {
+		if o.MatchProto == nil || o.MatchProto.Proto != r.MatchProto.Proto {
+			return false
+		}
+	}
+	if r.MatchDstPort != nil {
+		if o.MatchDstPort == nil || o.MatchDstPort.Port != r.MatchDstPort.Port {
+			return false
+		}
+	}
+	return true
+}
+
+// prefixMatchCovers reports whether prefix constraint a contains b's
+// entire range (b nil means match-all, which a proper prefix cannot cover
+// unless a is the default route).
+func prefixMatchCovers(a, b *netcfg.PrefixMatch) bool {
+	if !a.Prefix.IsValid() {
+		return false
+	}
+	ap := a.Prefix.Masked()
+	if b == nil || !b.Prefix.IsValid() {
+		return ap.Bits() == 0
+	}
+	bp := b.Prefix.Masked()
+	if ap.Addr().Is4() != bp.Addr().Is4() {
+		return false
+	}
+	return ap.Contains(bp.Addr()) && bp.Bits() >= ap.Bits()
+}

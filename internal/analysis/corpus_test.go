@@ -1,0 +1,52 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"acr/internal/analysis"
+	"acr/internal/incidents"
+	"acr/internal/netcfg"
+)
+
+// TestCorpusIncidentsLocalized is the analyzer-precision regression net:
+// for every incident in the synthetic corpus, static analysis alone must
+// flag the injected misconfiguration — right Table 1 class, right
+// device:line — before any simulation runs.
+func TestCorpusIncidentsLocalized(t *testing.T) {
+	incs, err := incidents.GenerateCorpus(incidents.CorpusOptions{Size: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perClass := map[string]int{}
+	for _, inc := range incs {
+		s := inc.Scenario
+		res := analysis.Analyze(s.Topo, s.Configs, nil)
+		if len(res.ParseErrors) != 0 {
+			t.Errorf("%s: parse errors: %v", inc.ID, res.ParseErrors)
+			continue
+		}
+		truth := map[netcfg.LineRef]bool{}
+		for _, l := range s.FaultyLines {
+			truth[l] = true
+		}
+		found := false
+		for _, d := range res.Diagnostics {
+			if d.Class == inc.Class.String() && truth[d.Line] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s (%s): no diagnostic of the injected class at a ground-truth line\n  truth: %v\n  diags: %v",
+				inc.ID, inc.Class, s.FaultyLines, res.Diagnostics)
+			continue
+		}
+		perClass[inc.Class.String()]++
+	}
+	// Every Table 1 class the corpus exercises must be represented.
+	for _, ci := range incidents.Table1 {
+		if perClass[ci.Name] == 0 {
+			t.Errorf("class %q: no incident verified (corpus gap or analyzer miss)", ci.Name)
+		}
+	}
+}

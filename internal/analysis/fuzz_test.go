@@ -1,0 +1,72 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"acr/internal/analysis"
+	"acr/internal/netcfg"
+)
+
+// FuzzAnalyze throws arbitrary configuration text at the full analyzer
+// registry and checks the robustness contract the repair engine depends
+// on: no analyzer panics on partial ASTs, and every diagnostic anchors at
+// a real line of the input. Seeds mirror the FuzzParse corpus in
+// internal/netcfg plus shapes that exercise each analyzer.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"",
+		"\n\n\n",
+		"# only a comment\n",
+		"bgp 65001\n",
+		"bgp 65001\n router-id 1.0.0.1\n peer 10.0.0.2 as-number 64601\n",
+		"bgp not-a-number\n",
+		"bgp 65001\n peer 10.0.0.999 as-number 1\n",
+		"route-policy P permit node 10\n match ip-prefix pl\n apply local-preference 200\n",
+		"route-policy P deny node nope\n",
+		"ip prefix-list pl index 10 permit 10.0.0.0/8 le 24\n",
+		"ip prefix-list pl index ten permit 10.0.0.0/8\n",
+		"ip route static 10.0.0.0/8 next-hop 10.1.1.2\n",
+		"pbr policy P\n if source 10.0.0.0/8 then next-hop 10.1.1.2\n",
+		"interface eth0\n ip address 10.1.1.1/30\n",
+		"interface eth0\n shutdown\n",
+		"   leading indentation\n",
+		"unknown keyword soup\n",
+		"bgp 65001\n\tpeer 10.0.0.2 as-number 1\n", // tab, not space
+		"bgp 65001\n  peer 10.0.0.2\n   orphan deep indent\n",
+		"route-policy P permit node 10\nroute-policy P permit node 10\n",
+		"bgp 1\nbgp 2\n",
+		"peer 10.0.0.2 as-number 1\n", // body line at top level
+		// Analyzer-specific shapes.
+		"bgp 1\n peer 1.1.1.1 route-policy Nope import\n",
+		"ip prefix-list pl index 10 permit 0.0.0.0/0 le 32\nip prefix-list pl index 20 permit 20.0.0.0/16\n",
+		"bgp 1\n peer 1.1.1.1 as-number 2\n peer 1.1.1.1 route-policy M import\nroute-policy M deny node 10\n",
+		"bgp 1\n peer 1.1.1.1 as-number 2\nip route static 9.0.0.0/8 null0\n",
+		"pbr policy P\n rule 5 permit\n  match destination 10.0.0.0/8\n rule 10 permit\n  match destination 10.1.0.0/16\ninterface eth0\n pbr policy P\n",
+		"pbr policy P\n rule 5 deny\ninterface eth0\n pbr policy P\n",
+		"bgp 1\n peer 1.1.1.1 as-number 1\nroute-policy P permit node 10\n apply as-path overwrite 99\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c := netcfg.NewConfig("fuzz", text)
+		configs := map[string]*netcfg.Config{"fuzz": c}
+		res := analysis.Analyze(nil, configs, nil) // must not panic
+		for _, d := range res.Diagnostics {
+			if d.Line.Device != "fuzz" {
+				t.Fatalf("diagnostic on unknown device %q: %s", d.Line.Device, d.String())
+			}
+			if d.Line.Line < 1 || d.Line.Line > c.NumLines() {
+				t.Fatalf("diagnostic outside the input (%d lines): %s", c.NumLines(), d.String())
+			}
+			for _, rel := range d.Related {
+				if rel.Device == "fuzz" && (rel.Line < 1 || rel.Line > c.NumLines()) {
+					t.Fatalf("related ref outside the input: %s (from %s)", rel, d.String())
+				}
+			}
+		}
+		// The single-file wrapper must agree and not panic either.
+		file, _ := netcfg.Parse(c)
+		_ = analysis.Validate(file)
+	})
+}

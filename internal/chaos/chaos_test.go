@@ -108,7 +108,9 @@ func TestFigure2PanicsAndDeadlineTogether(t *testing.T) {
 // TestTransientRetries proves the retry-with-backoff path: injected
 // transient verifier errors are retried and the run still succeeds.
 func TestTransientRetries(t *testing.T) {
-	inj := New(Plan{Seed: 1, TransientEveryN: 5, MaxTransients: 4})
+	// The static prior narrows Figure 2 to a handful of validator calls,
+	// so inject aggressively to guarantee the retry path is exercised.
+	inj := New(Plan{Seed: 1, TransientEveryN: 2, MaxTransients: 4})
 	opts := inj.Wire(core.Options{Strategy: core.BruteForce, RetryBackoff: 100 * time.Microsecond})
 	res := core.RepairContext(context.Background(), figure2Problem(), opts)
 

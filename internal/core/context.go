@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"net/netip"
 
+	"acr/internal/analysis"
 	"acr/internal/bgp"
 	"acr/internal/coverage"
 	"acr/internal/netcfg"
@@ -35,6 +36,16 @@ type Context struct {
 	Report  *verify.Report
 	Matrix  *coverage.Matrix
 	Ranks   []sbfl.Score
+	// Diags holds the static-analysis findings over this configuration
+	// version (empty when the prior is disabled).
+	Diags []analysis.Diagnostic
+	// DiagClasses maps each diagnosed line to the set of Table 1 error
+	// classes flagged there — the generation stage prunes templates whose
+	// ErrorClass does not match.
+	DiagClasses map[netcfg.LineRef]map[string]bool
+	// PriorSeeded counts statically flagged lines that no sampled test
+	// covered and were injected into Ranks with the prior as score.
+	PriorSeeded int
 	// Universe is the prefix vocabulary for symbolic variables: every
 	// originated prefix plus every intent prefix.
 	Universe []netip.Prefix
@@ -42,14 +53,33 @@ type Context struct {
 }
 
 // NewContext exposes context construction to the baselines and tools that
-// drive templates outside the engine loop.
+// drive templates outside the engine loop. It builds the pure-SBFL
+// context — no static prior — so localization metrics measure Eq. 1
+// alone.
 func NewContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *rand.Rand) *Context {
-	return buildContext(p, iv, formula, rng)
+	return buildContext(p, iv, formula, rng, false)
+}
+
+// priorWeight maps diagnostic severities to prior strength: an Error is a
+// near-certain misconfiguration, a Warning a consensus violation, an Info
+// a hint. All clear MinSusp's default (0.45) so flagged-but-uncovered
+// lines stay in the fix stage's scope.
+func priorWeight(s analysis.Severity) float64 {
+	switch s {
+	case analysis.Error:
+		return 0.8
+	case analysis.Warning:
+		return 0.55
+	default:
+		return 0.25
+	}
 }
 
 // buildContext compiles, simulates, verifies, and localizes one
 // configuration version. It reuses the incremental verifier's base state.
-func buildContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *rand.Rand) *Context {
+// With usePrior, static-analysis diagnostics are folded into the ranking
+// (see sbfl.ApplyPrior) and recorded for template pruning.
+func buildContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *rand.Rand, usePrior bool) *Context {
 	ctx := &Context{
 		Topo:    p.Topo,
 		Configs: iv.BaseConfigs(),
@@ -62,6 +92,27 @@ func buildContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *
 	}
 	ctx.Matrix = coverage.Build(ctx.Net, ctx.Prov, ctx.Report)
 	ctx.Ranks = sbfl.Rank(ctx.Matrix, formula)
+	if usePrior {
+		res := analysis.AnalyzeFiles(p.Topo, ctx.Configs, ctx.Files, nil)
+		if len(res.Diagnostics) > 0 {
+			ctx.Diags = res.Diagnostics
+			ctx.DiagClasses = map[netcfg.LineRef]map[string]bool{}
+			prior := map[netcfg.LineRef]float64{}
+			for i := range res.Diagnostics {
+				d := &res.Diagnostics[i]
+				if d.Class != "" {
+					if ctx.DiagClasses[d.Line] == nil {
+						ctx.DiagClasses[d.Line] = map[string]bool{}
+					}
+					ctx.DiagClasses[d.Line][d.Class] = true
+				}
+				if w := priorWeight(d.Severity); w > prior[d.Line] {
+					prior[d.Line] = w
+				}
+			}
+			ctx.Ranks, ctx.PriorSeeded = sbfl.ApplyPrior(ctx.Ranks, prior)
+		}
+	}
 	seen := map[netip.Prefix]bool{}
 	for _, pfx := range ctx.Net.AllPrefixes() {
 		if !seen[pfx] {

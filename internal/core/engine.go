@@ -56,6 +56,10 @@ type Options struct {
 	SimOpts       bgp.Options
 	// FullValidation disables the incremental verifier (ablation).
 	FullValidation bool
+	// NoStaticPrior disables the static-analysis localization prior
+	// (ablation): no diagnostic-boosted ranking, no seeded uncovered
+	// lines, no template pruning at diagnosed lines.
+	NoStaticPrior bool
 
 	// --- robustness -----------------------------------------------------
 
@@ -161,6 +165,18 @@ type Result struct {
 	// IntentChecks counts intent re-verifications.
 	IntentChecks int
 
+	// --- static-analysis prior ------------------------------------------
+
+	// StaticDiagnostics counts the static-analysis findings on the base
+	// configuration version (0 when the prior is disabled or clean).
+	StaticDiagnostics int
+	// PriorSeededLines counts statically flagged lines not covered by any
+	// sampled test that the prior injected into the base ranking.
+	PriorSeededLines int
+	// TemplatesPrunedStatic counts template applications skipped because
+	// the anchor line carried a diagnostic of a different error class.
+	TemplatesPrunedStatic int
+
 	// --- robustness -----------------------------------------------------
 
 	// BestEffortConfigs is the best configuration version the run saw:
@@ -203,6 +219,10 @@ func (r *Result) Summary() string {
 	if r.CandidatesPanicked+r.CandidatesTimedOut+r.ValidationRetries > 0 {
 		fmt.Fprintf(&sb, "  quarantined: panicked=%d timedOut=%d transientRetries=%d\n",
 			r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
+	}
+	if r.StaticDiagnostics > 0 {
+		fmt.Fprintf(&sb, "  static prior: diagnostics=%d seededLines=%d templatesPruned=%d\n",
+			r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
 	}
 	for _, a := range r.Applied {
 		fmt.Fprintf(&sb, "  applied: %s\n", a)
@@ -304,6 +324,8 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		return abort()
 	}
 	res.BaseFailing = base.fitness
+	res.StaticDiagnostics = len(base.ctx.Diags)
+	res.PriorSeededLines = base.ctx.PriorSeeded
 	best.observe(base.fitness, p.Configs, nil)
 	if base.fitness == 0 {
 		res.Feasible = true
@@ -616,7 +638,27 @@ func generate(res *Result, member *candidate, opts Options, widen int, rng *rand
 	sus := sbfl.Suspicious(member.ctx.Ranks, opts.TopKLines*widen, opts.MinSusp)
 	var props []proposal
 	for _, sc := range sus {
-		for _, tmpl := range opts.Templates {
+		tmpls := opts.Templates
+		// Static pruning: at a line the analyzers diagnosed, try only the
+		// templates repairing the diagnosed error classes. Widening (an
+		// escalation signal: the current scope failed to produce a repair)
+		// restores the full template set, so the prior can only misdirect
+		// the first pass, never the search.
+		if widen == 1 {
+			if classes := member.ctx.DiagClasses[sc.Line]; len(classes) > 0 {
+				var keep []Template
+				for _, tmpl := range tmpls {
+					if classes[tmpl.ErrorClass()] {
+						keep = append(keep, tmpl)
+					}
+				}
+				if len(keep) > 0 && len(keep) < len(tmpls) {
+					res.TemplatesPrunedStatic += len(tmpls) - len(keep)
+					tmpls = keep
+				}
+			}
+		}
+		for _, tmpl := range tmpls {
 			for _, up := range safeGenerate(res, tmpl, member.ctx, sc.Line) {
 				props = append(props, proposal{parent: member, update: up})
 			}
@@ -724,7 +766,7 @@ func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, 
 		fitness: iv.BaseReport().NumFailed(),
 		descs:   descs,
 	}
-	c.ctx = buildContext(p, iv, opts.Formula, rng)
+	c.ctx = buildContext(p, iv, opts.Formula, rng, !opts.NoStaticPrior)
 	return c
 }
 

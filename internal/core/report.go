@@ -32,6 +32,10 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 		fmt.Fprintf(&sb, "quarantined: %d panicked, %d timed out; validation retries: %d\n",
 			r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
 	}
+	if r.StaticDiagnostics > 0 {
+		fmt.Fprintf(&sb, "static analysis: %d diagnostics, %d uncovered lines seeded, %d template applications pruned\n",
+			r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
+	}
 	fmt.Fprintf(&sb, "iterations: %d  candidates validated: %d  prefix simulations: %d  intent checks: %d\n\n",
 		r.Iterations, r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
 

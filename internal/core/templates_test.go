@@ -18,7 +18,7 @@ func ctxFor(t *testing.T, s *scenario.Scenario) *Context {
 	t.Helper()
 	p := Problem{Topo: s.Topo, Configs: s.Configs, Intents: s.Intents}
 	iv := verify.NewIncremental(p.Topo, p.Configs, p.Intents, bgp.Options{})
-	return buildContext(p, iv, sbfl.Tarantula, rand.New(rand.NewSource(1)))
+	return buildContext(p, iv, sbfl.Tarantula, rand.New(rand.NewSource(1)), false)
 }
 
 func TestDefaultTemplatesCoverAllClasses(t *testing.T) {

@@ -1,7 +1,6 @@
 package netcfg
 
 import (
-	"fmt"
 	"net/netip"
 	"sort"
 )
@@ -362,61 +361,109 @@ func (f *File) PeerSessionLines(p *Peer) []LineRef {
 	return out
 }
 
-// Validate performs semantic checks that the parser cannot express
-// syntactically: dangling policy/prefix-list references, duplicate peer
-// definitions, interfaces without addresses that carry PBR, etc. It returns
-// a (possibly empty) list of human-readable problems; none are fatal for
-// simulation, which treats dangling references as "no match".
-func (f *File) Validate() []string {
-	var probs []string
-	addProb := func(format string, args ...any) {
-		probs = append(probs, fmt.Sprintf(format, args...))
-	}
-	policyNames := map[string]bool{}
+// --- reference-resolution helpers ------------------------------------------
+//
+// Static checks (dangling references, shadowing, cross-device consistency)
+// live in internal/analysis; the helpers below give analyses a uniform view
+// of the file's name spaces and reference sites. The former File.Validate
+// is now analysis.Validate, a thin wrapper over the analyzer registry.
+
+// PolicyNames returns the set of route-policy names defined in the file.
+func (f *File) PolicyNames() map[string]bool {
+	out := map[string]bool{}
 	for _, p := range f.Policies {
-		policyNames[p.Name] = true
+		out[p.Name] = true
 	}
-	listNames := map[string]bool{}
+	return out
+}
+
+// PrefixListNames returns the set of prefix-list names with at least one
+// entry in the file.
+func (f *File) PrefixListNames() map[string]bool {
+	out := map[string]bool{}
 	for _, e := range f.PrefixLists {
-		listNames[e.Name] = true
+		out[e.Name] = true
 	}
-	checkAttach := func(where string, as []*PolicyAttach) {
-		for _, a := range as {
-			if !policyNames[a.Policy] {
-				addProb("%s line %d: route-policy %q is not defined", where, a.Line, a.Policy)
-			}
-		}
+	return out
+}
+
+// AttachSite is one place a route-policy is referenced from: a peer, a
+// peer group, or the redistribute statement.
+type AttachSite struct {
+	// Where describes the attachment point for messages, e.g.
+	// `peer 10.0.0.2` or `peer-group PoPFacing`.
+	Where string
+	// Line is the attachment line; Policy the referenced policy name.
+	Line   int
+	Policy string
+	// Direction is meaningful for peer/group attaches only.
+	Direction Direction
+}
+
+// PolicyAttachSites enumerates every route-policy reference in the file, in
+// declaration order: per-peer attaches, per-group attaches, and the
+// redistribute statement's policy (when present).
+func (f *File) PolicyAttachSites() []AttachSite {
+	var out []AttachSite
+	if f.BGP == nil {
+		return out
 	}
-	if f.BGP != nil {
-		seen := map[netip.Addr]bool{}
-		for _, p := range f.BGP.Peers {
-			if seen[p.Addr] {
-				addProb("bgp: duplicate peer %s", p.Addr)
-			}
-			seen[p.Addr] = true
-			if p.Group != "" && f.GroupByName(p.Group) == nil {
-				addProb("bgp line %d: peer group %q is not declared", p.GroupLine, p.Group)
-			}
-			checkAttach("peer "+p.Addr.String(), p.Policies)
-		}
-		for _, g := range f.BGP.Groups {
-			checkAttach("peer-group "+g.Name, g.Policies)
-		}
-		if f.BGP.Redistribute != nil && f.BGP.Redistribute.Policy != "" && !policyNames[f.BGP.Redistribute.Policy] {
-			addProb("bgp line %d: redistribute route-policy %q is not defined", f.BGP.Redistribute.Line, f.BGP.Redistribute.Policy)
-		}
-	}
-	for _, p := range f.Policies {
-		for _, m := range p.Matches {
-			if m.Kind == MatchIPPrefix && !listNames[m.PrefixList] {
-				addProb("route-policy %s node %d line %d: prefix-list %q is not defined", p.Name, p.Node, m.Line, m.PrefixList)
-			}
+	for _, p := range f.BGP.Peers {
+		for _, a := range p.Policies {
+			out = append(out, AttachSite{Where: "peer " + p.Addr.String(), Line: a.Line, Policy: a.Policy, Direction: a.Direction})
 		}
 	}
-	for _, i := range f.Interfaces {
-		if i.PBRPolicy != "" && f.PBRPolicyByName(i.PBRPolicy) == nil {
-			addProb("interface %s line %d: pbr policy %q is not defined", i.Name, i.PBRLine, i.PBRPolicy)
+	for _, g := range f.BGP.Groups {
+		for _, a := range g.Policies {
+			out = append(out, AttachSite{Where: "peer-group " + g.Name, Line: a.Line, Policy: a.Policy, Direction: a.Direction})
 		}
 	}
-	return probs
+	if r := f.BGP.Redistribute; r != nil && r.Policy != "" {
+		out = append(out, AttachSite{Where: "redistribute static", Line: r.Line, Policy: r.Policy, Direction: Export})
+	}
+	return out
+}
+
+// EffectiveRange returns the closed range of prefix lengths this entry can
+// match, mirroring Matches: an entry without bounds matches only its own
+// exact prefix; with bounds, lengths run from ge (default: the entry's own
+// length) to le (default: the address family's bit length).
+func (e *PrefixList) EffectiveRange() (ge, le int) {
+	if !e.Prefix.IsValid() {
+		return 0, -1 // empty range: matches nothing
+	}
+	bits := e.Prefix.Masked().Bits()
+	if e.GE == 0 && e.LE == 0 {
+		return bits, bits
+	}
+	ge, le = e.GE, e.LE
+	if ge < bits {
+		ge = bits // containment already forces p.Bits() >= base.Bits()
+	}
+	if le == 0 {
+		le = e.Prefix.Addr().BitLen()
+	}
+	return ge, le
+}
+
+// Covers reports whether every prefix matched by entry o is also matched by
+// entry e — the shadowing relation: when e precedes o in a first-match-wins
+// list and e.Covers(o), entry o is unreachable.
+func (e *PrefixList) Covers(o *PrefixList) bool {
+	if !e.Prefix.IsValid() || !o.Prefix.IsValid() {
+		return false
+	}
+	eBase, oBase := e.Prefix.Masked(), o.Prefix.Masked()
+	if eBase.Addr().Is4() != oBase.Addr().Is4() {
+		return false
+	}
+	if !eBase.Contains(oBase.Addr()) || oBase.Bits() < eBase.Bits() {
+		return false
+	}
+	ege, ele := e.EffectiveRange()
+	oge, ole := o.EffectiveRange()
+	if ole < oge {
+		return false // o matches nothing; nothing to shadow
+	}
+	return oge >= ege && ole <= ele
 }

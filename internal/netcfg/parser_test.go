@@ -270,43 +270,6 @@ func TestParsePartialResultOnError(t *testing.T) {
 	}
 }
 
-func TestValidateDanglingReferences(t *testing.T) {
-	text := strings.Join([]string{
-		"bgp 100",
-		" peer 1.1.1.1 as-number 200",
-		" peer 1.1.1.1 route-policy NoSuchPolicy import",
-		"route-policy P permit node 10",
-		" match ip-prefix NoSuchList",
-		"interface eth0",
-		" pbr policy NoSuchPBR",
-	}, "\n")
-	f, err := Parse(NewConfig("X", text))
-	if err != nil {
-		t.Fatalf("Parse: %v", err)
-	}
-	probs := f.Validate()
-	wantSubs := []string{"NoSuchPolicy", "NoSuchList", "NoSuchPBR"}
-	for _, w := range wantSubs {
-		found := false
-		for _, p := range probs {
-			if strings.Contains(p, w) {
-				found = true
-				break
-			}
-		}
-		if !found {
-			t.Errorf("Validate() missing problem mentioning %q; got %v", w, probs)
-		}
-	}
-}
-
-func TestValidateCleanConfig(t *testing.T) {
-	f := parseA(t)
-	if probs := f.Validate(); len(probs) != 0 {
-		t.Errorf("Validate() = %v, want none", probs)
-	}
-}
-
 func TestPrefixListMatchesSemantics(t *testing.T) {
 	mk := func(p string, ge, le int) *PrefixList {
 		return &PrefixList{Prefix: netip.MustParsePrefix(p), GE: ge, LE: le, Permit: true}

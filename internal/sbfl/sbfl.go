@@ -78,6 +78,9 @@ type Score struct {
 	Susp   float64
 	Failed int
 	Passed int
+	// Prior is the static-analysis prior folded into Susp by ApplyPrior
+	// (0 when the line carries no diagnostic).
+	Prior float64
 }
 
 // Rank scores every covered line and sorts by suspiciousness (descending),
@@ -123,6 +126,43 @@ func Suspicious(scores []Score, k int, minSusp float64) []Score {
 		out = append(out, s)
 	}
 	return out
+}
+
+// ApplyPrior folds a static-analysis prior into a ranking: a line with
+// prior p gets susp' = 1 - (1-susp)(1-p) — a noisy-or, so static evidence
+// boosts but never drowns the spectrum signal — and flagged lines absent
+// from the ranking (statically suspect but not covered by any sampled
+// test) are appended with susp = p, putting them in contention for the
+// fix stage. Returns the new ranking (input untouched) and the number of
+// uncovered lines seeded in.
+func ApplyPrior(scores []Score, prior map[netcfg.LineRef]float64) ([]Score, int) {
+	if len(prior) == 0 {
+		return scores, 0
+	}
+	out := make([]Score, len(scores), len(scores)+len(prior))
+	copy(out, scores)
+	covered := make(map[netcfg.LineRef]bool, len(out))
+	for i := range out {
+		covered[out[i].Line] = true
+		if p := prior[out[i].Line]; p > 0 {
+			out[i].Prior = p
+			out[i].Susp = 1 - (1-out[i].Susp)*(1-p)
+		}
+	}
+	seeded := 0
+	for l, p := range prior {
+		if p > 0 && !covered[l] {
+			out = append(out, Score{Line: l, Susp: p, Prior: p})
+			seeded++
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Susp != out[j].Susp {
+			return out[i].Susp > out[j].Susp
+		}
+		return out[i].Line.Less(out[j].Line)
+	})
+	return out, seeded
 }
 
 // ScoreOf returns the score of a specific line in a ranking, or nil.

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"acr/internal/analysis"
 	"acr/internal/bgp"
 	"acr/internal/netcfg"
 	"acr/internal/topo"
@@ -59,7 +60,14 @@ func TestFigure2ConfigsParseClean(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", d, err)
 		}
-		if probs := f.Validate(); len(probs) != 0 {
+		probs := analysis.Validate(f)
+		// Static analysis correctly flags the seeded shadowed prefix-list
+		// entry on A and C; every other device must be clean.
+		wantFaulty := d == "A" || d == "C"
+		if wantFaulty && len(probs) == 0 {
+			t.Errorf("%s: expected the shadowed prefix-list finding, got none", d)
+		}
+		if !wantFaulty && len(probs) != 0 {
 			t.Errorf("%s: validate: %v", d, probs)
 		}
 	}
