@@ -30,6 +30,7 @@ import (
 	"acr/internal/core"
 	"acr/internal/coverage"
 	"acr/internal/incidents"
+	"acr/internal/journal"
 	"acr/internal/netcfg"
 	"acr/internal/rolesim"
 	"acr/internal/sbfl"
@@ -269,6 +270,51 @@ func Coverage(c *Case) *CoverageMatrix {
 	p := c.problem()
 	iv := verify.NewIncremental(p.Topo, p.Configs, p.Intents, bgp.Options{})
 	return coverage.Build(iv.BaseNet(), iv.BaseProvenance(), iv.BaseReport())
+}
+
+// Crash-safe session journaling, re-exported (see internal/journal for
+// the on-disk format).
+type (
+	// JournalWriter appends a repair session's write-ahead log; set it on
+	// RepairOptions.Journal to make a run crash-safe.
+	JournalWriter = journal.Writer
+	// JournalSession is a replayed session — possibly one a crash cut
+	// short, recovered up to its last intact record.
+	JournalSession = journal.Session
+	// JournalHeader identifies the case and search a journal belongs to.
+	JournalHeader = journal.Header
+)
+
+// ErrNoJournalSession reports a directory with no replayable session.
+var ErrNoJournalSession = journal.ErrNoSession
+
+// SessionHeader builds the journal header identifying a repair of c under
+// opts, carrying the case and search digests resume uses to refuse a
+// mismatched continuation.
+func SessionHeader(c *Case, opts RepairOptions) JournalHeader {
+	return core.SessionHeader(c.Name, c.problem(), opts)
+}
+
+// CreateJournal starts a new crash-safe session journal in dir for a
+// repair of c under opts. Pass the writer on RepairOptions.Journal and
+// Close it after the run; if the process dies mid-run, ReplayJournal +
+// ResumeJournal continue the session deterministically.
+func CreateJournal(dir string, c *Case, opts RepairOptions) (*JournalWriter, error) {
+	return journal.Create(dir, SessionHeader(c, opts))
+}
+
+// ReplayJournal recovers the session journaled in dir. It tolerates the
+// torn tail a crash can leave — replay stops at the first record that
+// fails its checksum and resumes from the last durable checkpoint.
+func ReplayJournal(dir string) (*JournalSession, error) {
+	return journal.Replay(dir)
+}
+
+// ResumeJournal reopens a replayed session's log for appending,
+// truncating any torn tail. Pass the writer and the session on
+// RepairOptions.Journal / RepairOptions.Resume to continue the run.
+func ResumeJournal(dir string, sess *JournalSession) (*JournalWriter, error) {
+	return journal.Resume(dir, sess)
 }
 
 // Repair runs the localize–fix–validate engine.

@@ -9,15 +9,20 @@ const (
 	exitImproved   = 2 // infeasible, but the best-effort repair fixes some intents
 	exitNoProgress = 3 // infeasible and nothing improved
 	exitDeadline   = 4 // the run was cut short by a deadline or cancellation
+	exitResumed    = 5 // feasible, and the run resumed a crashed session (-resume)
 )
 
 // repairExitCode maps a repair result to the process exit code. A
 // deadline/cancellation outranks "improved": a truncated run is a
 // different operational condition than a completed-but-stuck one, and
 // callers that care about partial progress can read Improved from the
-// report.
+// report. A feasible run that recovered a crashed session exits with the
+// distinct exitResumed so recovery scripts can tell "repaired after a
+// crash" from "repaired in one run".
 func repairExitCode(res *core.Result) int {
 	switch {
+	case res.Feasible && res.Resumed:
+		return exitResumed
 	case res.Feasible:
 		return exitFeasible
 	case res.Termination == "deadline" || res.Termination == "canceled":

@@ -13,6 +13,8 @@ func TestRepairExitCode(t *testing.T) {
 		want int
 	}{
 		{"feasible", core.Result{Feasible: true, Termination: "feasible"}, exitFeasible},
+		{"feasible after resume", core.Result{Feasible: true, Termination: "feasible", Resumed: true}, exitResumed},
+		{"resumed but infeasible", core.Result{Termination: "exhausted", Resumed: true, Improved: true}, exitImproved},
 		{"improved but exhausted", core.Result{Termination: "exhausted", Improved: true}, exitImproved},
 		{"improved but iteration-capped", core.Result{Termination: "iteration-cap", Improved: true}, exitImproved},
 		{"no progress, exhausted", core.Result{Termination: "exhausted"}, exitNoProgress},

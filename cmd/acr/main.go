@@ -8,9 +8,16 @@
 //	acr lint     (-builtin <name> | -dir <casedir>) [-json] [-severity info]
 //	acr localize (-builtin <name> | -dir <casedir>) [-formula tarantula] [-top 15]
 //	acr repair   (-builtin <name> | -dir <casedir>) [-strategy evolutionary] [-seed 0] [-out <dir>]
+//	             [-journal <dir> [-resume]]
 //
 // lint exits 0 when clean, 1 when findings are at or above the -severity
 // threshold, and 2 when a configuration failed to parse.
+//
+// repair -journal writes a crash-safe write-ahead journal; if the process
+// dies mid-run, repair -journal <dir> -resume continues the session from
+// its last checkpoint and, with the same -seed, reproduces the exact
+// result of an uninterrupted run. A resumed run that reaches feasibility
+// exits 5 (see exit.go for the full table).
 //
 // Builtins: figure2 (the paper's worked incident), figure2-repaired,
 // dcn4, wan. Case directories follow the format documented in
@@ -25,6 +32,7 @@ import (
 
 	"acr"
 	"acr/internal/caseio"
+	"acr/internal/chaos"
 	"acr/internal/core"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
@@ -217,6 +225,9 @@ func runRepair(args []string) error {
 	outDir := fs.String("out", "", "write repaired case to this directory")
 	maxIter := fs.Int("max-iterations", 0, "iteration cap (default 500)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the repair (0 = unlimited)")
+	journalDir := fs.String("journal", "", "write a crash-safe session journal to this directory")
+	resume := fs.Bool("resume", false, "resume the crashed session journaled in -journal")
+	crashAfter := fs.Int("crash-after-appends", 0, "testing hook: SIGKILL this process after N journal appends")
 	fs.Parse(args)
 	c, err := loadCase(*builtin, *dir)
 	if err != nil {
@@ -231,7 +242,48 @@ func runRepair(args []string) error {
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	if *resume && *journalDir == "" {
+		return fmt.Errorf("-resume requires -journal")
+	}
+	if *journalDir != "" {
+		var w *acr.JournalWriter
+		if *resume {
+			sess, err := acr.ReplayJournal(*journalDir)
+			if err != nil {
+				return fmt.Errorf("replay journal %s: %w", *journalDir, err)
+			}
+			if !sess.Resumable() {
+				return fmt.Errorf("session in %s already completed (%s); nothing to resume",
+					*journalDir, sess.Terminal.Termination)
+			}
+			if hdr := acr.SessionHeader(c, opts); sess.Header.CaseDigest != hdr.CaseDigest ||
+				sess.Header.OptionsDigest != hdr.OptionsDigest {
+				return fmt.Errorf("journal in %s was written for a different case or search (case %q, seed %d); refusing to resume",
+					*journalDir, sess.Header.Case, sess.Header.Seed)
+			}
+			if sess.Truncated {
+				fmt.Fprintf(os.Stderr, "acr: journal tail torn (%s); resuming from last checkpoint\n", sess.TruncatedReason)
+			}
+			if w, err = acr.ResumeJournal(*journalDir, sess); err != nil {
+				return err
+			}
+			opts.Resume = sess
+		} else if w, err = acr.CreateJournal(*journalDir, c, opts); err != nil {
+			return err
+		}
+		defer w.Close()
+		opts.Journal = w
+	}
+	if *crashAfter > 0 {
+		if *journalDir == "" {
+			return fmt.Errorf("-crash-after-appends requires -journal")
+		}
+		opts = chaos.New(chaos.Plan{CrashAfterAppends: *crashAfter, CrashKill: true}).Wire(opts)
+	}
 	res := acr.Repair(c, opts)
+	if res.Resumed {
+		fmt.Printf("resumed journaled session from iteration %d\n", res.ResumedFrom)
+	}
 	fmt.Print(res.Report(c.Configs))
 	if *outDir != "" {
 		// Write the best-effort configs even when infeasible: a partial

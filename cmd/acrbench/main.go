@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|all [-size 48] [-seed 1]
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|all [-size 48] [-seed 1]
 package main
 
 import (
@@ -17,13 +17,14 @@ import (
 	"acr"
 	"acr/internal/core"
 	"acr/internal/incidents"
+	"acr/internal/journal"
 	"acr/internal/netcfg"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	flag.Parse()
@@ -47,6 +48,7 @@ func main() {
 		{"ablations", ablations},
 		{"staticprior", staticPrior},
 		{"hypothesis", hypothesis},
+		{"resume", resumeExp},
 	} {
 		if *exp == e.name || *exp == "all" {
 			ran = true
@@ -328,6 +330,73 @@ func staticPrior(size int, seed int64) {
 	off := acr.Repair(acr.Figure2Incident(), acr.RepairOptions{Strategy: core.BruteForce, NoStaticPrior: true})
 	fmt.Printf("  with prior:    %s", on.Summary())
 	fmt.Printf("  without prior: %s", off.Summary())
+}
+
+// resumeExp measures the write-ahead journal's overhead: the same corpus
+// repairs with journaling off, synced on checkpoints (the default), synced
+// on every record, and never synced, plus the WAL footprint per mode.
+func resumeExp(size int, seed int64) {
+	incs := corpus(min(size, 12), seed)
+	modes := []struct {
+		name string
+		on   bool
+		sync journal.SyncMode
+	}{
+		{"off", false, journal.SyncOnCheckpoint},
+		{"sync-checkpoint", true, journal.SyncOnCheckpoint},
+		{"sync-always", true, journal.SyncAlways},
+		{"sync-never", true, journal.SyncNever},
+	}
+	fmt.Printf("%-16s %10s %10s %12s %10s %12s\n",
+		"journal", "wall", "iters", "iters/s", "records", "WAL bytes")
+	var baseline time.Duration
+	for _, m := range modes {
+		var wall time.Duration
+		iters, records, bytes := 0, 0, int64(0)
+		for _, inc := range incs {
+			c := acr.IncidentCase(inc)
+			opts := acr.RepairOptions{Seed: seed}
+			dir := ""
+			if m.on {
+				var err error
+				if dir, err = os.MkdirTemp("", "acrbench-journal"); err != nil {
+					fmt.Fprintln(os.Stderr, "acrbench:", err)
+					os.Exit(1)
+				}
+				w, err := acr.CreateJournal(dir, c, opts)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "acrbench:", err)
+					os.Exit(1)
+				}
+				w.Sync = m.sync
+				opts.Journal = w
+			}
+			start := time.Now()
+			res := acr.Repair(c, opts)
+			wall += time.Since(start)
+			iters += res.Iterations
+			if m.on {
+				records += opts.Journal.Appends()
+				opts.Journal.Close()
+				if st, err := os.Stat(journal.WALPath(dir)); err == nil {
+					bytes += st.Size()
+				}
+				os.RemoveAll(dir)
+			}
+		}
+		if !m.on {
+			baseline = wall
+		}
+		rate := 0.0
+		if wall > 0 {
+			rate = float64(iters) / wall.Seconds()
+		}
+		fmt.Printf("%-16s %10s %10d %12.1f %10d %12d", m.name, wall.Round(time.Millisecond), iters, rate, records, bytes)
+		if m.on && baseline > 0 {
+			fmt.Printf("  (%+.1f%% vs off)", 100*(wall.Seconds()-baseline.Seconds())/baseline.Seconds())
+		}
+		fmt.Println()
+	}
 }
 
 // hypothesis measures the §6 plastic surgery hypothesis: intra-role vs

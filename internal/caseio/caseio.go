@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"strings"
 
+	"acr/internal/journal"
 	"acr/internal/netcfg"
 	"acr/internal/scenario"
 	"acr/internal/topo"
@@ -88,15 +89,18 @@ func Load(dir string) (*scenario.Scenario, error) {
 	}, nil
 }
 
-// Save writes a case directory (creating it as needed).
+// Save writes a case directory (creating it as needed). Every file is
+// written atomically (temp file + rename + fsync), so a crash mid-save —
+// including one that interrupts overwriting an existing case with a
+// repaired one — never leaves a torn topology, intent file, or config.
 func Save(dir string, s *scenario.Scenario) error {
 	if err := os.MkdirAll(filepath.Join(dir, "configs"), 0o755); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "topology.txt"), []byte(FormatTopology(s.Topo)), 0o644); err != nil {
+	if err := journal.WriteFileAtomic(filepath.Join(dir, "topology.txt"), []byte(FormatTopology(s.Topo)), 0o644); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, "intents.txt"), []byte(FormatIntents(s.Intents)), 0o644); err != nil {
+	if err := journal.WriteFileAtomic(filepath.Join(dir, "intents.txt"), []byte(FormatIntents(s.Intents)), 0o644); err != nil {
 		return err
 	}
 	devices := make([]string, 0, len(s.Configs))
@@ -106,7 +110,7 @@ func Save(dir string, s *scenario.Scenario) error {
 	sort.Strings(devices)
 	for _, d := range devices {
 		path := filepath.Join(dir, "configs", d+".cfg")
-		if err := os.WriteFile(path, []byte(s.Configs[d].Text()), 0o644); err != nil {
+		if err := journal.WriteFileAtomic(path, []byte(s.Configs[d].Text()), 0o644); err != nil {
 			return err
 		}
 	}

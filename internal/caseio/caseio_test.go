@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"acr/internal/bgp"
+	"acr/internal/netcfg"
 	"acr/internal/scenario"
 	"acr/internal/topo"
 	"acr/internal/verify"
@@ -139,5 +140,40 @@ func TestLoadMissingFiles(t *testing.T) {
 	dir := t.TempDir()
 	if _, err := Load(dir); err == nil {
 		t.Error("Load of empty dir should fail")
+	}
+}
+
+// TestSaveAtomic: Save must leave no temp debris and must replace an
+// existing case in place (the overwrite path a crash-recovery e2e uses to
+// write the repaired configs back out).
+func TestSaveAtomic(t *testing.T) {
+	s := scenario.Figure2()
+	dir := filepath.Join(t.TempDir(), "fig2")
+	if err := Save(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite in place with a modified scenario.
+	mod := *s
+	mod.Configs = map[string]*netcfg.Config{}
+	for d, c := range s.Configs {
+		mod.Configs[d] = netcfg.FromLines(d, append(c.Lines(), "! resaved"))
+	}
+	if err := Save(dir, &mod); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range mod.Configs {
+		if got.Configs[d].Text() != mod.Configs[d].Text() {
+			t.Errorf("config %s not replaced", d)
+		}
+	}
+	for _, sub := range []string{"", "configs"} {
+		debris, _ := filepath.Glob(filepath.Join(dir, sub, "*.tmp*"))
+		if len(debris) != 0 {
+			t.Fatalf("temp files left behind: %v", debris)
+		}
 	}
 }

@@ -15,13 +15,16 @@
 package chaos
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"os"
 	"sync"
 	"time"
 
 	"acr/internal/core"
+	"acr/internal/journal"
 )
 
 // Plan is a seeded, deterministic fault plan.
@@ -45,6 +48,22 @@ type Plan struct {
 	// MaxTransients caps the total injected transient errors
 	// (0 = unlimited).
 	MaxTransients int
+
+	// --- crash points (journal seam) ------------------------------------
+
+	// CrashAfterAppends simulates a process crash once N journal records
+	// have been appended (0 = off): the next append never reaches the
+	// WAL. With CrashKill the injector SIGKILLs its own process — a real,
+	// unmaskable crash for end-to-end recovery tests; otherwise it panics
+	// with CrashPanic, which unwinds the engine (the emission points sit
+	// outside every quarantine boundary) for in-process tests to recover.
+	CrashAfterAppends int
+	// CrashTornTail additionally writes a torn frame — a plausible length
+	// prefix, a garbage checksum, and a truncated payload — to the WAL
+	// before crashing, simulating a write cut mid-record by the kill.
+	CrashTornTail bool
+	// CrashKill selects SIGKILL over panic at the crash point.
+	CrashKill bool
 }
 
 // Stats counts what the injector actually did.
@@ -58,6 +77,11 @@ type Stats struct {
 	ValidateCalls int
 	// TransientsInjected counts retryable errors handed to the engine.
 	TransientsInjected int
+	// JournalAppends counts journal appends observed.
+	JournalAppends int
+	// CrashesInjected counts simulated crashes raised at the journal seam
+	// (0 or 1: a crash ends the run).
+	CrashesInjected int
 }
 
 // PanicValue is the value an injected panic carries, so recovery sites
@@ -97,6 +121,9 @@ type Injector struct {
 	plan  Plan
 	rng   *rand.Rand
 	stats Stats
+	// wal is the journal's WAL path, captured by WireJournal so a torn
+	// tail can be written at the crash point.
+	wal string
 }
 
 // New builds an injector for the plan.
@@ -105,12 +132,87 @@ func New(plan Plan) *Injector {
 }
 
 // Wire installs the injector into repair options: the simulator seam
-// (every per-prefix simulation the engine or its verifier performs) and
-// the validation boundary. It returns the modified options.
+// (every per-prefix simulation the engine or its verifier performs), the
+// validation boundary, and — when the options carry a journal writer —
+// the journal-append seam for crash-point injection. It returns the
+// modified options.
 func (i *Injector) Wire(opts core.Options) core.Options {
 	opts.SimOpts.PrefixHook = i.PrefixHook
 	opts.Chaos = i
+	if opts.Journal != nil {
+		i.WireJournal(opts.Journal)
+	}
 	return opts
+}
+
+// WireJournal installs the crash-point seam on a journal writer.
+func (i *Injector) WireJournal(w *journal.Writer) {
+	i.mu.Lock()
+	i.wal = journal.WALPath(w.Dir())
+	i.mu.Unlock()
+	w.Hook = i.JournalHook
+}
+
+// CrashPanic is the value a simulated (non-SIGKILL) crash panics with.
+// It deliberately unwinds the whole engine: journal emission points sit
+// outside every candidate-quarantine boundary, so nothing absorbs it
+// before the test harness does.
+type CrashPanic struct {
+	// Appends is the number of records durably appended before the crash.
+	Appends int
+}
+
+// String renders the panic value.
+func (c CrashPanic) String() string {
+	return fmt.Sprintf("chaos: injected crash after %d journal appends", c.Appends)
+}
+
+// JournalHook is the journal seam (journal.AppendHook): called before the
+// nth append, it simulates a crash once the plan's append budget is
+// spent. Exactly CrashAfterAppends records reach the WAL.
+func (i *Injector) JournalHook(n int, _ *journal.Record) error {
+	i.mu.Lock()
+	i.stats.JournalAppends = n
+	crash := i.plan.CrashAfterAppends > 0 && n > i.plan.CrashAfterAppends
+	if crash {
+		i.stats.CrashesInjected++
+	}
+	torn, kill, wal := i.plan.CrashTornTail, i.plan.CrashKill, i.wal
+	appended := i.plan.CrashAfterAppends
+	i.mu.Unlock()
+	if !crash {
+		return nil
+	}
+	if torn && wal != "" {
+		tearWAL(wal)
+	}
+	if kill {
+		// A real SIGKILL: no deferred functions, no recovery — the
+		// strongest possible crash for end-to-end resume tests.
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+			// Kill is asynchronous; do not let the engine race ahead.
+			select {}
+		}
+	}
+	panic(CrashPanic{Appends: appended})
+}
+
+// tearWAL appends a torn frame to the WAL: a header promising a 200-byte
+// payload, a garbage checksum, and 24 bytes of debris — the on-disk shape
+// of a record cut mid-write. Best effort: a tear that cannot be written
+// is simply a clean crash.
+func tearWAL(path string) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	tail := make([]byte, 8+24)
+	binary.BigEndian.PutUint32(tail[0:4], 200)
+	binary.BigEndian.PutUint32(tail[4:8], 0xDEADBEEF)
+	copy(tail[8:], `{"seq":999,"type":"checkp`)
+	f.Write(tail)
 }
 
 // PrefixHook is the simulator seam: it observes one per-prefix simulation

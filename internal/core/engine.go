@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"runtime/debug"
 	"sort"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"acr/internal/bgp"
+	"acr/internal/journal"
 	"acr/internal/netcfg"
 	"acr/internal/sbfl"
 	"acr/internal/verify"
@@ -85,6 +88,29 @@ type Options struct {
 	// Chaos, when non-nil, injects faults at the validation boundary
 	// (testing only).
 	Chaos FaultInjector
+
+	// --- durability -----------------------------------------------------
+
+	// Journal, when non-nil, receives the run's durable event stream:
+	// per-candidate and per-iteration events, periodic full checkpoints,
+	// and a terminal record on graceful exit. Create it with
+	// journal.Create (fresh session) or journal.Resume (continuation).
+	// Journal append failures degrade to in-memory operation (recorded as
+	// KindJournal errors); they never fail the run.
+	Journal *journal.Writer
+	// Resume, when non-nil, restores the run from a replayed session
+	// instead of starting from the base configuration version. The
+	// session's digests must match this problem and these options; on any
+	// mismatch the engine records a KindJournal error and runs fresh.
+	// Because every random stream is derived from (Seed, iteration) and
+	// (Seed, version), a resumed run continues exactly where the
+	// journaled one left off and produces the same Result as an
+	// uninterrupted run (compare with Result.Canonical).
+	Resume *journal.Session
+	// CheckpointEvery is the full-checkpoint cadence in iterations
+	// (default 1: every iteration boundary is a restart point). Raising
+	// it trades recovery granularity for journal bandwidth.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -206,6 +232,14 @@ type Result struct {
 	Errors []*RepairError
 	// WallClock is the measured run duration.
 	WallClock time.Duration
+
+	// --- durability -----------------------------------------------------
+
+	// Resumed reports the run was restored from a journal checkpoint.
+	Resumed bool
+	// ResumedFrom is the iteration the restored checkpoint closed
+	// (0 = resumed from the base snapshot). Meaningful only when Resumed.
+	ResumedFrom int
 }
 
 // Summary renders the result for CLI reports.
@@ -280,13 +314,14 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 	// performs while preserving candidates.
 	opts.SimOpts.Ctx = ctx
 
-	rng := rand.New(rand.NewSource(opts.Seed))
 	res := &Result{FinalConfigs: p.Configs, Termination: "iteration-cap"}
+	sink := newJournalSink(opts.Journal, res, opts.CheckpointEvery)
 
 	best := &bestEffort{fitness: -1}
 	finish := func(term string) *Result {
 		res.Termination = term
 		best.writeTo(res)
+		sink.terminal(term, res.Feasible)
 		res.WallClock = time.Since(start)
 		return res
 	}
@@ -309,40 +344,61 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		return finish(term)
 	}
 
-	base := preserve(res, p, p.Configs, nil, opts, rng)
-	if base == nil {
-		// The base version itself could not be verified (persistent panic
-		// or immediate cancellation): nothing to search from.
+	// st carries the loop-control state across iterations so it can be
+	// checkpointed as a unit. st.widen multiplies the suspicious-line
+	// scope. It grows when an iteration preserves nothing (every candidate
+	// made things worse) and when fitness stagnates across iterations —
+	// interacting faults can poison the constraints of the top-ranked
+	// lines' templates while the real fix sits just below a tie boundary
+	// or outside a tight TopK.
+	var st loopState
+	if restored, ok := tryResume(res, best, p, opts); ok {
+		st = restored
+		res.Resumed = true
+		res.ResumedFrom = st.iter
+	} else {
+		base := preserve(res, p, p.Configs, nil, opts)
+		if base == nil {
+			// The base version itself could not be verified (persistent
+			// panic or immediate cancellation): nothing to search from.
+			if _, ok := interrupted(); ok {
+				return abort()
+			}
+			return finish("exhausted")
+		}
 		if _, ok := interrupted(); ok {
+			// The base verification may be partial (canceled outcomes):
+			// its fitness is not trustworthy, so report nothing beyond
+			// the abort.
 			return abort()
 		}
-		return finish("exhausted")
+		res.BaseFailing = base.fitness
+		res.StaticDiagnostics = len(base.ctx.Diags)
+		res.PriorSeededLines = base.ctx.PriorSeeded
+		best.observe(base.fitness, p.Configs, nil)
+		if base.fitness == 0 {
+			res.Feasible = true
+			return finish("feasible")
+		}
+		st = loopState{pop: []*candidate{base}, prevFitness: base.fitness,
+			widen: 1, bestEver: base.fitness}
+		// The base snapshot is the minimum viable restart point: a crash
+		// before the first iteration checkpoint resumes here instead of
+		// re-paying base verification and localization.
+		sink.checkpoint(res, best, st)
 	}
-	if _, ok := interrupted(); ok {
-		// The base verification may be partial (canceled outcomes): its
-		// fitness is not trustworthy, so report nothing beyond the abort.
-		return abort()
-	}
-	res.BaseFailing = base.fitness
-	res.StaticDiagnostics = len(base.ctx.Diags)
-	res.PriorSeededLines = base.ctx.PriorSeeded
-	best.observe(base.fitness, p.Configs, nil)
-	if base.fitness == 0 {
-		res.Feasible = true
-		return finish("feasible")
-	}
-	pop := []*candidate{base}
-	prevFitness := base.fitness
-	// widen multiplies the suspicious-line scope. It grows when an
-	// iteration preserves nothing (every candidate made things worse) and
-	// when fitness stagnates across iterations — interacting faults can
-	// poison the constraints of the top-ranked lines' templates while the
-	// real fix sits just below a tie boundary or outside a tight TopK.
-	widen := 1
-	bestEver := base.fitness
-	stagnant := 0
+	pop, prevFitness := st.pop, st.prevFitness
+	widen, bestEver, stagnant := st.widen, st.bestEver, st.stagnant
 
-	for iter := 1; iter <= opts.MaxIterations; iter++ {
+	for iter := st.iter + 1; iter <= opts.MaxIterations; iter++ {
+		// Every random stream this iteration draws from is derived from
+		// (Seed, iter), so a run resumed at this boundary replays the
+		// exact straight-through search.
+		rng := iterRNG(opts.Seed, iter)
+		endIteration := func() {
+			sink.checkpoint(res, best, loopState{iter: iter, pop: pop,
+				prevFitness: prevFitness, widen: widen, bestEver: bestEver, stagnant: stagnant})
+		}
 		if _, ok := interrupted(); ok {
 			return abort()
 		}
@@ -371,9 +427,12 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 			if widen < 8 {
 				widen *= 2
 				res.Logs = append(res.Logs, log)
+				sink.iteration(log)
+				endIteration()
 				continue
 			}
 			res.Logs = append(res.Logs, log)
+			sink.iteration(log)
 			return finish("exhausted")
 		}
 		limit := opts.CandidateCap * widen
@@ -403,6 +462,7 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 			res.CandidatesValidated++
 			log.Validated++
 			pr.fitness = rep.NumFailed()
+			sink.candidate(iter, pr.update.Desc, pr.fitness)
 			if pr.fitness < log.BestFitness {
 				log.BestFitness = pr.fitness
 			}
@@ -417,12 +477,16 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 				res.FinalConfigs = final
 				res.Applied = append(append([]string{}, pr.parent.descs...), pr.update.Desc)
 				for d, c := range final {
-					if c != p.Configs[d] {
+					// Compare by text, not pointer: a resumed run's configs
+					// are rebuilt from the checkpoint and never share
+					// pointers with p.Configs.
+					if c.Text() != p.Configs[d].Text() {
 						res.Diffs = append(res.Diffs, netcfg.Diff(p.Configs[d], c))
 					}
 				}
 				sort.Strings(res.Diffs)
 				res.Logs = append(res.Logs, log)
+				sink.iteration(log)
 				return finish("feasible")
 			}
 			// Discard candidates whose fitness exceeds the previous
@@ -433,11 +497,13 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		}
 		log.Kept = len(kept)
 		res.Logs = append(res.Logs, log)
+		sink.iteration(log)
 		if len(kept) == 0 {
 			if widen < 8 {
 				// Nothing preserved at this scope: widen and retry from
 				// the same population.
 				widen *= 2
+				endIteration()
 				continue
 			}
 			return finish("exhausted")
@@ -473,7 +539,7 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 				return abort()
 			}
 			c := preserve(res, p, applyUpdate(pr.parent.configs, pr.update),
-				append(append([]string{}, pr.parent.descs...), pr.update.Desc), opts, rng)
+				append(append([]string{}, pr.parent.descs...), pr.update.Desc), opts)
 			if c == nil {
 				continue // preservation quarantined (panic during re-verify)
 			}
@@ -488,6 +554,7 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 			}
 			if widen < 8 {
 				widen *= 2
+				endIteration()
 				continue
 			}
 			return finish("exhausted")
@@ -496,8 +563,71 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		// "The fitness of an iteration is defined as the largest fitness
 		// among the preserved updates."
 		prevFitness = maxFit
+		endIteration()
 	}
 	return finish(res.Termination)
+}
+
+// iterRNG derives iteration iter's random stream. Streams are addressed
+// by (seed, purpose) instead of advancing one global generator so a
+// checkpointed run restarts mid-search without serializing RNG state: the
+// stream for any iteration — or any preserved configuration version (see
+// versionRNG) — is recomputable from the journal alone.
+func iterRNG(seed int64, iter int) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(seed, fmt.Sprintf("iter/%d", iter))))
+}
+
+// versionRNG derives the stream for one configuration version, addressed
+// by the template applications that produced it. Rebuilding the version
+// from a checkpoint therefore reconstructs the identical context.
+func versionRNG(seed int64, descs []string) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(seed, "version/"+strings.Join(descs, "|"))))
+}
+
+// deriveSeed mixes the run seed with a stream label.
+func deriveSeed(seed int64, stream string) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(seed))
+	h.Write(b[:])
+	h.Write([]byte(stream))
+	return int64(h.Sum64())
+}
+
+// tryResume restores the run from opts.Resume. It refuses — recording a
+// KindJournal error and reporting ok=false, which falls back to a fresh
+// run — when the session's digests do not match this problem and these
+// options, when the session already completed its search, or when no
+// checkpointed population member survives re-verification.
+func tryResume(res *Result, best *bestEffort, p Problem, opts Options) (loopState, bool) {
+	sess := opts.Resume
+	if sess == nil || sess.Header == nil {
+		return loopState{}, false
+	}
+	refuse := func(err error) (loopState, bool) {
+		res.recordError(&RepairError{Kind: KindJournal, Op: "resume", Err: err})
+		return loopState{}, false
+	}
+	if got := p.Digest(); sess.Header.CaseDigest != got {
+		return refuse(fmt.Errorf("journaled case digest %.12s does not match this case (%.12s)", sess.Header.CaseDigest, got))
+	}
+	if got := opts.SearchDigest(); sess.Header.OptionsDigest != got {
+		return refuse(fmt.Errorf("journaled options digest %.12s does not match these options (%.12s)", sess.Header.OptionsDigest, got))
+	}
+	if !sess.Resumable() {
+		return refuse(fmt.Errorf("session already completed (%s)", sess.Terminal.Termination))
+	}
+	if sess.Checkpoint == nil {
+		// The run died before its first checkpoint: nothing to restore,
+		// but nothing lost either — a fresh run under the same seed IS
+		// the continuation.
+		return loopState{}, false
+	}
+	st, ok := restoreCheckpoint(res, best, p, opts, sess.Checkpoint)
+	if !ok {
+		return refuse(fmt.Errorf("no checkpointed population member survived re-verification"))
+	}
+	return st, true
 }
 
 // bestEffort tracks the best configuration version observed so far, so an
@@ -724,7 +854,7 @@ func mergeUpdates(a, b Update) (Update, bool) {
 // re-verification panics (a simulator bug, or an injected chaos fault) is
 // dropped from the population instead of killing the run. The base version
 // additionally gets retries, since without it there is no search at all.
-func preserve(res *Result, p Problem, configs map[string]*netcfg.Config, descs []string, opts Options, rng *rand.Rand) *candidate {
+func preserve(res *Result, p Problem, configs map[string]*netcfg.Config, descs []string, opts Options) *candidate {
 	attempts := 1
 	if descs == nil { // the base version
 		attempts = 1 + opts.MaxValidationRetries
@@ -744,7 +874,7 @@ func preserve(res *Result, p Problem, configs map[string]*netcfg.Config, descs [
 					c = nil
 				}
 			}()
-			return newCandidate(p, configs, descs, opts, rng)
+			return newCandidate(p, configs, descs, opts)
 		}()
 		if c != nil {
 			return c
@@ -757,8 +887,10 @@ func preserve(res *Result, p Problem, configs map[string]*netcfg.Config, descs [
 }
 
 // newCandidate fully verifies one configuration version and builds its
-// localization context.
-func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, opts Options, rng *rand.Rand) *candidate {
+// localization context. The context's random stream is addressed by the
+// version's descs (versionRNG) so a version restored from a checkpoint is
+// indistinguishable from one preserved straight through.
+func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, opts Options) *candidate {
 	iv := verify.NewIncremental(p.Topo, configs, p.Intents, opts.SimOpts)
 	c := &candidate{
 		configs: configs,
@@ -766,7 +898,7 @@ func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, 
 		fitness: iv.BaseReport().NumFailed(),
 		descs:   descs,
 	}
-	c.ctx = buildContext(p, iv, opts.Formula, rng, !opts.NoStaticPrior)
+	c.ctx = buildContext(p, iv, opts.Formula, versionRNG(opts.Seed, descs), !opts.NoStaticPrior)
 	return c
 }
 

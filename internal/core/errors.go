@@ -32,6 +32,11 @@ const (
 	// KindValidation: a candidate was structurally invalid (conflicting or
 	// out-of-range edits). Expected during search; never fatal.
 	KindValidation ErrorKind = "validation"
+	// KindJournal: the write-ahead journal could not be appended to or a
+	// checkpoint could not be restored. Durability degrades (journaling is
+	// disabled for the rest of the run, or a population member is dropped
+	// on restore); the search itself continues.
+	KindJournal ErrorKind = "journal"
 )
 
 // RepairError is one classified failure observed during a run. Quarantined

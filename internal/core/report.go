@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"acr/internal/netcfg"
@@ -75,6 +76,55 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 			sb.WriteString(d)
 			sb.WriteByte('\n')
 		}
+	}
+	return sb.String()
+}
+
+// Canonical renders every deterministic field of the Result — the fixed
+// configurations, fitness trajectory, applied templates, and all search
+// counters — as one comparable string. Two runs of the same problem, seed,
+// and options produce identical Canonical output even when one of them was
+// killed and resumed from the journal; that invariant is what the crash
+// harness asserts. Wall-clock time, stored error details, and the
+// Resumed markers are excluded: they legitimately differ across an
+// interruption.
+func (r *Result) Canonical() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "feasible=%v termination=%s iterations=%d baseFailing=%d\n",
+		r.Feasible, r.Termination, r.Iterations, r.BaseFailing)
+	fmt.Fprintf(&sb, "validated=%d prefixSims=%d intentChecks=%d\n",
+		r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
+	fmt.Fprintf(&sb, "static: diags=%d seeded=%d pruned=%d\n",
+		r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
+	fmt.Fprintf(&sb, "quarantine: panicked=%d timedOut=%d retries=%d\n",
+		r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
+	for _, a := range r.Applied {
+		fmt.Fprintf(&sb, "applied %s\n", a)
+	}
+	for _, d := range r.Diffs {
+		fmt.Fprintf(&sb, "diff %s\n", d)
+	}
+	writeConfigs := func(label string, configs map[string]*netcfg.Config) {
+		devices := make([]string, 0, len(configs))
+		for d := range configs {
+			devices = append(devices, d)
+		}
+		sort.Strings(devices)
+		for _, d := range devices {
+			fmt.Fprintf(&sb, "%s %s\n%s", label, d, configs[d].Text())
+		}
+	}
+	writeConfigs("final", r.FinalConfigs)
+	fmt.Fprintf(&sb, "bestEffort fitness=%d improved=%v applied=%s\n",
+		r.BestEffortFitness, r.Improved, strings.Join(r.BestEffortApplied, "|"))
+	writeConfigs("bestEffort", r.BestEffortConfigs)
+	for _, l := range r.Logs {
+		fmt.Fprintf(&sb, "iter=%d generated=%d validated=%d kept=%d bestFitness=%d top=",
+			l.Iteration, l.Generated, l.Validated, l.Kept, l.BestFitness)
+		for _, s := range l.TopSuspicious {
+			fmt.Fprintf(&sb, "%s:%g,%d,%d,%g;", s.Line, s.Susp, s.Failed, s.Passed, s.Prior)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

@@ -1,0 +1,422 @@
+// Package journal is the durable session layer of the repair engine: an
+// append-only write-ahead journal that makes long repair runs crash-safe.
+//
+// A session lives in one directory:
+//
+//	journaldir/
+//	  wal.log          # length-prefixed, CRC-checksummed JSON records
+//	  checkpoint.json  # the latest checkpoint, written atomically
+//
+// The WAL is a sequence of framed records:
+//
+//	[4-byte big-endian payload length][4-byte big-endian CRC-32C][payload]
+//
+// The payload is one JSON-encoded Record. Records carry monotonically
+// increasing sequence numbers; the first record of a session is always a
+// header. The engine appends candidate and iteration events as it works
+// and a full Checkpoint (population, best-effort state, counters, RNG-free
+// restart state) at a configurable cadence; a graceful end appends a
+// terminal record. A SIGKILL, OOM-kill, or power cut leaves at worst a
+// torn final frame, which the replayer detects (short frame or CRC
+// mismatch) and recovers past: Replay returns the state at the last valid
+// record, never a partially applied one.
+//
+// checkpoint.json duplicates the newest checkpoint record as a single
+// framed record written with the temp-file + rename + fsync discipline, so
+// recovery has a valid checkpoint even if the WAL's own checkpoint frame
+// was the torn one.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Version is the on-disk format version written into headers.
+const Version = 1
+
+// maxRecordSize bounds a frame's declared payload length so a corrupt
+// length prefix cannot make the replayer allocate gigabytes.
+const maxRecordSize = 16 << 20
+
+// castagnoli is the CRC-32C table (the WAL checksum polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Type discriminates WAL records.
+type Type string
+
+// Record types.
+const (
+	// TypeHeader opens a session: identity of the case and options.
+	TypeHeader Type = "header"
+	// TypeCandidate is one validated candidate and its fitness.
+	TypeCandidate Type = "candidate"
+	// TypeIteration closes one localize-fix-validate round.
+	TypeIteration Type = "iteration"
+	// TypeCheckpoint is a full engine-state snapshot at an iteration
+	// boundary — the unit of recovery.
+	TypeCheckpoint Type = "checkpoint"
+	// TypeTerminal closes a session gracefully.
+	TypeTerminal Type = "terminal"
+)
+
+// Record is the WAL envelope. Exactly one payload field matching Type is
+// populated.
+type Record struct {
+	Seq  int  `json:"seq"`
+	Type Type `json:"type"`
+
+	Header     *Header     `json:"header,omitempty"`
+	Candidate  *Candidate  `json:"candidate,omitempty"`
+	Iteration  *Iteration  `json:"iteration,omitempty"`
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	Terminal   *Terminal   `json:"terminal,omitempty"`
+}
+
+// Header identifies the session. Resume refuses to continue a session
+// whose digests do not match the case and options it was started with:
+// replaying a journal against a different problem would silently produce
+// garbage.
+type Header struct {
+	Version int    `json:"version"`
+	Case    string `json:"case"`
+	// CaseDigest hashes the topology, configurations, and intents.
+	CaseDigest string `json:"caseDigest"`
+	// OptionsDigest hashes every option that steers the search.
+	OptionsDigest string `json:"optionsDigest"`
+	Seed          int64  `json:"seed"`
+}
+
+// Candidate is one validated candidate event (observability; recovery
+// state lives in checkpoints).
+type Candidate struct {
+	Iteration int    `json:"iteration"`
+	Desc      string `json:"desc"`
+	Fitness   int    `json:"fitness"`
+}
+
+// Iteration mirrors the engine's per-iteration log line.
+type Iteration struct {
+	Iteration   int     `json:"iteration"`
+	Generated   int     `json:"generated"`
+	Validated   int     `json:"validated"`
+	Kept        int     `json:"kept"`
+	BestFitness int     `json:"bestFitness"`
+	Top         []Score `json:"top,omitempty"`
+}
+
+// Score is one suspicious line in an iteration log (a dependency-free
+// mirror of sbfl.Score).
+type Score struct {
+	Device string  `json:"device"`
+	Line   int     `json:"line"`
+	Susp   float64 `json:"susp"`
+	Failed int     `json:"failed"`
+	Passed int     `json:"passed"`
+	Prior  float64 `json:"prior,omitempty"`
+}
+
+// Member is one preserved population member. Configurations are stored as
+// raw line slices so restoration is byte-exact (text round-trips would
+// drop trailing blank lines).
+type Member struct {
+	Configs map[string][]string `json:"configs"`
+	Descs   []string            `json:"descs,omitempty"`
+	Fitness int                 `json:"fitness"`
+}
+
+// BestEffort is the best configuration version seen so far.
+type BestEffort struct {
+	Fitness int                 `json:"fitness"`
+	Configs map[string][]string `json:"configs"`
+	Applied []string            `json:"applied,omitempty"`
+}
+
+// Counters snapshots the run's cumulative counters, so a resumed run's
+// totals equal the uninterrupted run's.
+type Counters struct {
+	CandidatesValidated   int `json:"candidatesValidated"`
+	PrefixSimulations     int `json:"prefixSimulations"`
+	IntentChecks          int `json:"intentChecks"`
+	TemplatesPrunedStatic int `json:"templatesPrunedStatic"`
+	CandidatesPanicked    int `json:"candidatesPanicked"`
+	CandidatesTimedOut    int `json:"candidatesTimedOut"`
+	ValidationRetries     int `json:"validationRetries"`
+}
+
+// ErrorEvent is a flattened engine error (stacks and wrapped causes do not
+// survive serialization; messages and counts do).
+type ErrorEvent struct {
+	Kind      string `json:"kind"`
+	Op        string `json:"op"`
+	Candidate string `json:"candidate,omitempty"`
+	Message   string `json:"message,omitempty"`
+}
+
+// IterationLog mirrors one entry of the engine's Result.Logs.
+type IterationLog struct {
+	Iteration   int     `json:"iteration"`
+	Generated   int     `json:"generated"`
+	Validated   int     `json:"validated"`
+	Kept        int     `json:"kept"`
+	BestFitness int     `json:"bestFitness"`
+	Top         []Score `json:"top,omitempty"`
+}
+
+// Checkpoint is a complete restart point at an iteration boundary. The
+// engine derives every random stream from (seed, iteration) and
+// (seed, version descs), so no RNG state needs to be stored: restoring the
+// fields below and re-entering the loop at Iteration+1 reproduces the
+// straight-through run exactly.
+type Checkpoint struct {
+	// Iteration is the last completed iteration (0 = only the base version
+	// has been verified).
+	Iteration int `json:"iteration"`
+	// PrevFitness, Widen, BestEver, Stagnant are the loop-control state at
+	// the top of iteration Iteration+1.
+	PrevFitness int `json:"prevFitness"`
+	Widen       int `json:"widen"`
+	BestEver    int `json:"bestEver"`
+	Stagnant    int `json:"stagnant"`
+
+	BaseFailing       int `json:"baseFailing"`
+	StaticDiagnostics int `json:"staticDiagnostics"`
+	PriorSeededLines  int `json:"priorSeededLines"`
+
+	Population []Member       `json:"population"`
+	Best       *BestEffort    `json:"best,omitempty"`
+	Counters   Counters       `json:"counters"`
+	Logs       []IterationLog `json:"logs,omitempty"`
+	Errors     []ErrorEvent   `json:"errors,omitempty"`
+}
+
+// Terminal closes a session. Terminations "deadline" and "canceled" leave
+// the session resumable; "feasible", "exhausted", and "iteration-cap" do
+// not (the search is over).
+type Terminal struct {
+	Termination string `json:"termination"`
+	Feasible    bool   `json:"feasible"`
+}
+
+// SyncMode selects the WAL's fsync discipline.
+type SyncMode int
+
+// Sync modes.
+const (
+	// SyncOnCheckpoint (the default) fsyncs the WAL only when appending
+	// checkpoint and terminal records. Candidate/iteration events between
+	// checkpoints are observability; recovery restarts from the last
+	// checkpoint regardless, so their durability buys nothing.
+	SyncOnCheckpoint SyncMode = iota
+	// SyncAlways fsyncs every append (the durability tax acrbench's
+	// resume experiment measures).
+	SyncAlways
+	// SyncNever leaves flushing to the OS (benchmark baseline only).
+	SyncNever
+)
+
+// AppendHook observes every WAL append before it is written; n is the
+// 1-based append count of this Writer. The chaos harness uses it to
+// simulate crashes (by panicking or killing the process) at exact points.
+// A non-nil error aborts the append.
+type AppendHook func(n int, rec *Record) error
+
+// Writer appends to a session's WAL. It is not safe for concurrent use;
+// the engine is single-threaded.
+type Writer struct {
+	dir  string
+	f    *os.File
+	seq  int
+	n    int // appends through this Writer
+	Sync SyncMode
+	// Hook, when non-nil, runs before every append (chaos seam).
+	Hook AppendHook
+}
+
+// WALPath returns the session's WAL file path.
+func WALPath(dir string) string { return filepath.Join(dir, "wal.log") }
+
+// CheckpointPath returns the session's atomic-checkpoint file path.
+func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.json") }
+
+// Create starts a fresh session in dir (creating it as needed), truncating
+// any previous session, and appends the header record.
+func Create(dir string, hdr Header) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(WALPath(dir), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	os.Remove(CheckpointPath(dir)) // stale checkpoint from a prior session
+	w := &Writer{dir: dir, f: f}
+	hdr.Version = Version
+	if err := w.append(Record{Type: TypeHeader, Header: &hdr}, true); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Resume reopens a session's WAL for appending after the given replayed
+// session. The WAL is truncated to the end of the record the session
+// resumes from — the last valid checkpoint (or the header when none
+// exists) — discarding the torn tail and any events past the checkpoint:
+// the resumed engine regenerates those events deterministically, so
+// keeping them would double-log the replayed iterations.
+func Resume(dir string, sess *Session) (*Writer, error) {
+	f, err := os.OpenFile(WALPath(dir), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(sess.ResumeOffset); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(sess.ResumeOffset, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{dir: dir, f: f, seq: sess.ResumeSeq}, nil
+}
+
+// append frames and writes one record, assigning its sequence number.
+func (w *Writer) append(rec Record, sync bool) error {
+	w.n++
+	if w.Hook != nil {
+		if err := w.Hook(w.n, &rec); err != nil {
+			return err
+		}
+	}
+	w.seq++
+	rec.Seq = w.seq
+	frame, err := encodeFrame(&rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return err
+	}
+	if w.Sync == SyncAlways || (sync && w.Sync != SyncNever) {
+		return w.f.Sync()
+	}
+	return nil
+}
+
+// AppendCandidate journals one validated candidate.
+func (w *Writer) AppendCandidate(c Candidate) error {
+	return w.append(Record{Type: TypeCandidate, Candidate: &c}, false)
+}
+
+// AppendIteration journals one completed iteration.
+func (w *Writer) AppendIteration(it Iteration) error {
+	return w.append(Record{Type: TypeIteration, Iteration: &it}, false)
+}
+
+// AppendCheckpoint journals a full restart point: a WAL record (fsynced)
+// plus an atomic rewrite of checkpoint.json.
+func (w *Writer) AppendCheckpoint(cp Checkpoint) error {
+	if err := w.append(Record{Type: TypeCheckpoint, Checkpoint: &cp}, true); err != nil {
+		return err
+	}
+	frame, err := encodeFrame(&Record{Seq: w.seq, Type: TypeCheckpoint, Checkpoint: &cp})
+	if err != nil {
+		return err
+	}
+	return WriteFileAtomic(CheckpointPath(w.dir), frame, 0o644)
+}
+
+// AppendTerminal journals the session's graceful end.
+func (w *Writer) AppendTerminal(t Terminal) error {
+	return w.append(Record{Type: TypeTerminal, Terminal: &t}, true)
+}
+
+// Appends reports how many records this Writer has appended.
+func (w *Writer) Appends() int { return w.n }
+
+// Dir returns the session directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// Close syncs and closes the WAL.
+func (w *Writer) Close() error {
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// encodeFrame renders one framed record.
+func encodeFrame(rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) > maxRecordSize {
+		return nil, fmt.Errorf("journal: record of %d bytes exceeds frame limit", len(payload))
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// WriteFileAtomic writes data to path with the temp-file + rename + fsync
+// discipline: a crash at any point leaves either the old file or the new
+// one, never a torn mix.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some filesystems refuse to fsync directories; the rename itself is
+	// still atomic there, so degrade silently.
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{Case: "t", CaseDigest: "cd", OptionsDigest: "od", Seed: 7}
+}
+
+func testCheckpoint(iter int) Checkpoint {
+	return Checkpoint{
+		Iteration:   iter,
+		PrevFitness: 3,
+		Widen:       1,
+		BestEver:    3,
+		BaseFailing: 3,
+		Population: []Member{{
+			Configs: map[string][]string{"A": {"interface e0", " ip 10.0.0.1/31"}},
+			Descs:   []string{"tmpl @ A:1"},
+			Fitness: 2,
+		}},
+		Best: &BestEffort{Fitness: 2, Configs: map[string][]string{"A": {"x"}}},
+		Logs: []IterationLog{{Iteration: 1, Generated: 4, Validated: 4, Kept: 1, BestFitness: 2,
+			Top: []Score{{Device: "A", Line: 1, Susp: 0.5, Failed: 1, Passed: 2}}}},
+	}
+}
+
+func writeSession(t *testing.T, dir string, iters int, terminal *Terminal) {
+	t.Helper()
+	w, err := Create(dir, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= iters; i++ {
+		if err := w.AppendCandidate(Candidate{Iteration: i, Desc: "c", Fitness: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendIteration(Iteration{Iteration: i, Validated: 1, BestFitness: 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendCheckpoint(testCheckpoint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if terminal != nil {
+		if err := w.AppendTerminal(*terminal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 3, &Terminal{Termination: "feasible", Feasible: true})
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Header == nil || sess.Header.Case != "t" || sess.Header.Seed != 7 {
+		t.Fatalf("header = %+v", sess.Header)
+	}
+	if sess.Truncated {
+		t.Fatalf("clean WAL reported truncated: %s", sess.TruncatedReason)
+	}
+	if sess.Checkpoint == nil || sess.Checkpoint.Iteration != 3 {
+		t.Fatalf("checkpoint = %+v", sess.Checkpoint)
+	}
+	if got := sess.Checkpoint.Population[0].Configs["A"]; len(got) != 2 || got[0] != "interface e0" {
+		t.Fatalf("population configs = %q", got)
+	}
+	if len(sess.Iterations) != 3 {
+		t.Fatalf("iterations = %d", len(sess.Iterations))
+	}
+	if sess.Terminal == nil || !sess.Terminal.Feasible {
+		t.Fatalf("terminal = %+v", sess.Terminal)
+	}
+	if sess.Resumable() {
+		t.Fatal("feasible session must not be resumable")
+	}
+	// 1 header + 3*(candidate+iteration+checkpoint) + terminal.
+	if sess.Records != 11 {
+		t.Fatalf("records = %d", sess.Records)
+	}
+}
+
+func TestResumableTerminations(t *testing.T) {
+	for term, want := range map[string]bool{
+		"deadline": true, "canceled": true,
+		"feasible": false, "exhausted": false, "iteration-cap": false,
+	} {
+		s := &Session{Terminal: &Terminal{Termination: term}}
+		if s.Resumable() != want {
+			t.Errorf("Resumable(%q) = %v, want %v", term, !want, want)
+		}
+	}
+	if !(&Session{}).Resumable() {
+		t.Error("crashed session (no terminal) must be resumable")
+	}
+}
+
+// TestTornTailRecovery covers the crash shapes a SIGKILL can leave: a
+// frame cut anywhere, a corrupted checksum, garbage appended.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 2, nil)
+	clean, err := os.ReadFile(WALPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayBytes(clean); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string]func([]byte) []byte{
+		"cut mid-frame":            func(b []byte) []byte { return b[:len(b)-5] },
+		"cut deep into last frame": func(b []byte) []byte { return b[:len(b)-40] },
+		"flipped payload bit": func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			c[len(c)-2] ^= 0x40
+			return c
+		},
+		"garbage appended": func(b []byte) []byte {
+			return append(append([]byte{}, b...), []byte("\x00\x00\x01\x00junkjunkjunk")...)
+		},
+		"huge length prefix appended": func(b []byte) []byte {
+			tail := make([]byte, 8)
+			binary.BigEndian.PutUint32(tail, 1<<30)
+			return append(append([]byte{}, b...), tail...)
+		},
+	}
+	for name, mutate := range cases {
+		sess, err := ReplayBytes(mutate(clean))
+		if err != nil {
+			t.Errorf("%s: replay failed entirely: %v", name, err)
+			continue
+		}
+		if !sess.Truncated {
+			t.Errorf("%s: corruption not detected", name)
+		}
+		if sess.Checkpoint == nil {
+			t.Errorf("%s: lost all checkpoints", name)
+			continue
+		}
+		// The last intact record before each mutation is iteration-2
+		// state or later — never an invented one.
+		if got := sess.Checkpoint.Iteration; got != 1 && got != 2 {
+			t.Errorf("%s: recovered checkpoint iteration = %d", name, got)
+		}
+	}
+}
+
+// TestCheckpointFileLeadsWAL: when the WAL's checkpoint frame is the torn
+// one, the atomically written checkpoint.json still carries it.
+func TestCheckpointFileLeadsWAL(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 2, nil)
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the WAL back to before the iteration-2 checkpoint frame while
+	// leaving checkpoint.json (which holds iteration 2) in place.
+	if err := os.Truncate(WALPath(dir), sess.ResumeOffset-10); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recovered.Truncated {
+		t.Error("truncation not detected")
+	}
+	if recovered.Checkpoint == nil || recovered.Checkpoint.Iteration != 2 {
+		t.Fatalf("checkpoint.json not consulted: %+v", recovered.Checkpoint)
+	}
+}
+
+// TestStaleCheckpointFileIgnored: a checkpoint.json older than the WAL's
+// newest checkpoint must never roll the session backward.
+func TestStaleCheckpointFileIgnored(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 1, nil)
+	stale, err := os.ReadFile(CheckpointPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSession(t, dir, 3, nil)
+	if err := os.WriteFile(CheckpointPath(dir), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Checkpoint.Iteration != 3 {
+		t.Fatalf("stale checkpoint.json won: iteration %d", sess.Checkpoint.Iteration)
+	}
+}
+
+func TestResumeTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 2, nil)
+	// Simulate a crash mid-append.
+	f, err := os.OpenFile(WALPath(dir), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("\x00\x00\x00\x50torn"))
+	f.Close()
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Truncated {
+		t.Fatal("torn tail not detected")
+	}
+	w, err := Resume(dir, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendIteration(Iteration{Iteration: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCheckpoint(testCheckpoint(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendTerminal(Terminal{Termination: "feasible", Feasible: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	final, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Truncated {
+		t.Fatalf("resumed WAL still torn: %s", final.TruncatedReason)
+	}
+	if final.Checkpoint.Iteration != 3 || final.Terminal == nil {
+		t.Fatalf("resumed session state: cp=%+v terminal=%+v", final.Checkpoint, final.Terminal)
+	}
+}
+
+func TestReplayNoSession(t *testing.T) {
+	if _, err := Replay(t.TempDir()); err != ErrNoSession {
+		t.Fatalf("empty dir: err = %v, want ErrNoSession", err)
+	}
+	for name, data := range map[string][]byte{
+		"empty":            {},
+		"garbage":          []byte("not a journal at all"),
+		"torn before done": {0x00, 0x00, 0x01, 0x00, 0xAA},
+	} {
+		if _, err := ReplayBytes(data); err != ErrNoSession {
+			t.Errorf("%s: err = %v, want ErrNoSession", name, err)
+		}
+	}
+}
+
+func TestAtomicCheckpointFileIsFramed(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 1, nil)
+	frame, err := os.ReadFile(CheckpointPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _, ok := decodeFrame(frame)
+	if !ok || rec.Type != TypeCheckpoint || rec.Checkpoint == nil {
+		t.Fatalf("checkpoint.json is not a valid framed checkpoint record")
+	}
+	// A flipped bit must be detected, never deserialized.
+	frame[len(frame)-3] ^= 0x10
+	if _, _, ok := decodeFrame(frame); ok {
+		t.Fatal("corrupt checkpoint.json passed CRC")
+	}
+	// No temp files left behind by the atomic write.
+	matches, _ := filepath.Glob(filepath.Join(dir, "checkpoint.json.tmp*"))
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+func TestCreateTruncatesPriorSession(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 3, &Terminal{Termination: "feasible", Feasible: true})
+	writeSession(t, dir, 1, nil)
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Terminal != nil || sess.Checkpoint.Iteration != 1 {
+		t.Fatalf("prior session leaked through: %+v", sess)
+	}
+}
+
+func TestSequenceGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	writeSession(t, dir, 1, nil)
+	clean, _ := os.ReadFile(WALPath(dir))
+	sess, _ := ReplayBytes(clean)
+	// Re-frame a record with a skipped sequence number and append it.
+	frame, err := encodeFrame(&Record{Seq: sess.Records + 5, Type: TypeIteration, Iteration: &Iteration{Iteration: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encodeFrame is used via append normally; here build the raw frame
+	// with the forged seq by marshaling directly.
+	mutated := append(append([]byte{}, clean...), frame...)
+	got, err := ReplayBytes(mutated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Truncated || !bytes.Contains([]byte(got.TruncatedReason), []byte("sequence")) {
+		t.Fatalf("sequence gap not flagged: %+v", got.TruncatedReason)
+	}
+}
