@@ -35,6 +35,7 @@ import (
 	"acr/internal/rolesim"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
+	"acr/internal/service"
 	"acr/internal/topo"
 	"acr/internal/verify"
 )
@@ -421,3 +422,30 @@ type MissingShape = rolesim.MissingShape
 func MissingRoleShapes(c *Case, device string, quorum float64) []MissingShape {
 	return rolesim.MissingShapes(c.Topo, c.Configs, device, quorum)
 }
+
+// The repair service daemon (`acr serve`), re-exported so embedders can
+// run the daemon in-process (see internal/service for the HTTP API).
+type (
+	// ServeConfig sizes and wires a repair daemon: state directory,
+	// worker-pool size, queue capacity.
+	ServeConfig = service.Config
+	// ServeServer is the daemon itself: job store + queue + worker pool.
+	// Call Start, mount Handler on an http.Server, Shutdown to drain.
+	ServeServer = service.Server
+	// ServeJob is one repair job's wire (and on-disk) record.
+	ServeJob = service.Job
+	// ServeJobRequest is a job submission (POST /v1/repairs body).
+	ServeJobRequest = service.JobRequest
+	// ServeResult is the machine-readable repair result shared by the
+	// service API and `acr repair -o json`.
+	ServeResult = service.ResultJSON
+)
+
+// NewServer opens (or re-opens, resuming in-flight jobs) a repair daemon
+// on its state directory.
+func NewServer(cfg ServeConfig) (*ServeServer, error) { return service.New(cfg) }
+
+// ResultExitCode classifies a repair result the way `acr repair` exits:
+// 0 feasible, 2 improved, 3 no progress, 4 deadline/canceled, 5 feasible
+// after resuming a crashed session.
+func ResultExitCode(res *RepairResult) int { return service.ExitCode(res) }

@@ -1,35 +1,24 @@
 package main
 
-import "acr/internal/core"
-
-// Exit codes for `acr repair`, so scripts can branch on the outcome
-// without parsing the report.
-const (
-	exitFeasible   = 0 // all intents pass on the repaired configs
-	exitImproved   = 2 // infeasible, but the best-effort repair fixes some intents
-	exitNoProgress = 3 // infeasible and nothing improved
-	exitDeadline   = 4 // the run was cut short by a deadline or cancellation
-	exitResumed    = 5 // feasible, and the run resumed a crashed session (-resume)
+import (
+	"acr/internal/core"
+	"acr/internal/service"
 )
 
-// repairExitCode maps a repair result to the process exit code. A
-// deadline/cancellation outranks "improved": a truncated run is a
-// different operational condition than a completed-but-stuck one, and
-// callers that care about partial progress can read Improved from the
-// report. A feasible run that recovered a crashed session exits with the
-// distinct exitResumed so recovery scripts can tell "repaired after a
-// crash" from "repaired in one run".
+// Exit codes for `acr repair`, so scripts can branch on the outcome
+// without parsing the report. The classification lives in
+// internal/service (service.ExitCode): the daemon's API reports the same
+// codes in ResultJSON.ExitCode, so a result means the same thing whether
+// the CLI or the service produced it.
+const (
+	exitFeasible   = service.ExitFeasible        // all intents pass on the repaired configs
+	exitImproved   = service.ExitImproved        // infeasible, but the best-effort repair fixes some intents
+	exitNoProgress = service.ExitNoProgress      // infeasible and nothing improved
+	exitDeadline   = service.ExitDeadline        // the run was cut short by a deadline or cancellation
+	exitResumed    = service.ExitResumedFeasible // feasible, and the run resumed a crashed session (-resume)
+)
+
+// repairExitCode maps a repair result to the process exit code.
 func repairExitCode(res *core.Result) int {
-	switch {
-	case res.Feasible && res.Resumed:
-		return exitResumed
-	case res.Feasible:
-		return exitFeasible
-	case res.Termination == "deadline" || res.Termination == "canceled":
-		return exitDeadline
-	case res.Improved:
-		return exitImproved
-	default:
-		return exitNoProgress
-	}
+	return service.ExitCode(res)
 }

@@ -8,7 +8,8 @@
 //	acr lint     (-builtin <name> | -dir <casedir>) [-json] [-severity info]
 //	acr localize (-builtin <name> | -dir <casedir>) [-formula tarantula] [-top 15]
 //	acr repair   (-builtin <name> | -dir <casedir>) [-strategy evolutionary] [-seed 0] [-out <dir>]
-//	             [-journal <dir> [-resume]]
+//	             [-journal <dir> [-resume]] [-o text|json]
+//	acr serve    -state-dir <dir> [-addr 127.0.0.1:7365] [-workers 2] [-queue-cap 64]
 //
 // lint exits 0 when clean, 1 when findings are at or above the -severity
 // threshold, and 2 when a configuration failed to parse.
@@ -36,6 +37,7 @@ import (
 	"acr/internal/core"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
+	"acr/internal/service"
 )
 
 func main() {
@@ -56,6 +58,8 @@ func main() {
 		err = runLocalize(args)
 	case "repair":
 		err = runRepair(args)
+	case "serve":
+		err = runServe(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -67,7 +71,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair> [flags]
+	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair|serve> [flags]
   -builtin figure2|figure2-repaired|dcn4|wan   use a built-in case
   -dir <casedir>                               load a case directory
 run "acr <cmd> -h" for command flags`)
@@ -228,7 +232,11 @@ func runRepair(args []string) error {
 	journalDir := fs.String("journal", "", "write a crash-safe session journal to this directory")
 	resume := fs.Bool("resume", false, "resume the crashed session journaled in -journal")
 	crashAfter := fs.Int("crash-after-appends", 0, "testing hook: SIGKILL this process after N journal appends")
+	output := fs.String("o", "text", "output format: text (human report) or json (the service API's result schema)")
 	fs.Parse(args)
+	if *output != "text" && *output != "json" {
+		return fmt.Errorf("unknown output format %q", *output)
+	}
 	c, err := loadCase(*builtin, *dir)
 	if err != nil {
 		return err
@@ -281,10 +289,20 @@ func runRepair(args []string) error {
 		opts = chaos.New(chaos.Plan{CrashAfterAppends: *crashAfter, CrashKill: true}).Wire(opts)
 	}
 	res := acr.Repair(c, opts)
-	if res.Resumed {
-		fmt.Printf("resumed journaled session from iteration %d\n", res.ResumedFrom)
+	if *output == "json" {
+		// The same schema the service API returns, so scripts parse one
+		// format no matter which front end ran the repair.
+		data, err := json.MarshalIndent(service.NewResultJSON(res), "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		if res.Resumed {
+			fmt.Printf("resumed journaled session from iteration %d\n", res.ResumedFrom)
+		}
+		fmt.Print(res.Report(c.Configs))
 	}
-	fmt.Print(res.Report(c.Configs))
 	if *outDir != "" {
 		// Write the best-effort configs even when infeasible: a partial
 		// repair that fixes some intents is still worth inspecting.
@@ -297,7 +315,13 @@ func runRepair(args []string) error {
 			if err := caseio.Save(*outDir, s); err != nil {
 				return err
 			}
-			fmt.Printf("repaired case written to %s\n", *outDir)
+			// In json mode stdout is the machine-readable result; keep
+			// human notes off it.
+			note := os.Stdout
+			if *output == "json" {
+				note = os.Stderr
+			}
+			fmt.Fprintf(note, "repaired case written to %s\n", *outDir)
 		}
 	}
 	if code := repairExitCode(res); code != 0 {

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"acr/internal/chaos"
+	"acr/internal/journal"
+	"acr/internal/service"
+)
+
+// runServe starts the repair daemon: an HTTP/JSON API over a bounded
+// worker pool, persisting every job under -state-dir with the crash-safe
+// session journal. A SIGKILL'd daemon restarted on the same state
+// directory resumes its in-flight jobs from their last checkpoints;
+// SIGINT/SIGTERM drain gracefully (running jobs checkpoint and return to
+// "queued" for the next boot).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:7365", "listen address")
+	stateDir := fs.String("state-dir", "", "job persistence directory (required)")
+	workers := fs.Int("workers", 2, "worker-pool size")
+	queueCap := fs.Int("queue-cap", service.DefaultQueueCap, "queued-job cap; a full queue answers 429")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before hard cancel")
+	killAfter := fs.Int("kill-after-appends", 0, "testing hook: SIGKILL the daemon after N journal appends across all jobs")
+	holdUntil := fs.String("hold-until", "", "testing hook: block journal appends until this file exists")
+	fs.Parse(args)
+	if *stateDir == "" {
+		return fmt.Errorf("serve requires -state-dir")
+	}
+	cfg := service.Config{StateDir: *stateDir, Workers: *workers, QueueCap: *queueCap}
+	var hooks []journal.AppendHook
+	if *holdUntil != "" {
+		// Crash tests submit a batch and then release it, so the kill
+		// switch below cannot fire before the batch is fully submitted.
+		hold := *holdUntil
+		hooks = append(hooks, func(int, *journal.Record) error {
+			for {
+				if _, err := os.Stat(hold); err == nil {
+					return nil
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		})
+	}
+	if *killAfter > 0 {
+		hooks = append(hooks, chaos.NewKillSwitch(*killAfter).Hook)
+	}
+	if len(hooks) > 0 {
+		cfg.JournalHook = func(n int, rec *journal.Record) error {
+			for _, h := range hooks {
+				if err := h(n, rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	srv, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("acr: serving on http://%s (state %s, %d workers)\n", ln.Addr(), *stateDir, *workers)
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "acr: %s: draining (budget %s)\n", sig, *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "acr: drain incomplete: %v (journals remain resumable)\n", err)
+	}
+	return nil
+}

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|all [-size 48] [-seed 1]
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|all [-size 48] [-seed 1]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -15,16 +16,18 @@ import (
 	"time"
 
 	"acr"
+	"acr/internal/caseio"
 	"acr/internal/core"
 	"acr/internal/incidents"
 	"acr/internal/journal"
 	"acr/internal/netcfg"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
+	"acr/internal/service"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	flag.Parse()
@@ -49,6 +52,7 @@ func main() {
 		{"staticprior", staticPrior},
 		{"hypothesis", hypothesis},
 		{"resume", resumeExp},
+		{"serve", serveExp},
 	} {
 		if *exp == e.name || *exp == "all" {
 			ran = true
@@ -422,5 +426,68 @@ func hypothesis(int, int64) {
 	for _, m := range acr.MissingRoleShapes(c, "leaf1-0", 0.75) {
 		fmt.Printf("  %-40s e.g. %q (from %s, %.0f%% of peers)\n",
 			m.Normalized, m.Example, m.FromDevice, 100*m.PeerShare)
+	}
+}
+
+// serveExp measures the repair daemon's throughput: a corpus slice
+// submitted to an in-process service.Server at several worker-pool sizes,
+// reported as jobs/sec. Jobs go through the full service path — admission,
+// persistence, journal, engine — so the numbers include the daemon's
+// durability tax, not just raw engine time.
+func serveExp(size int, seed int64) {
+	incs := corpus(min(size, 12), seed)
+	fmt.Printf("%-8s %6s %10s %10s %12s\n", "workers", "jobs", "wall", "jobs/s", "speedup")
+	var baseline time.Duration
+	for _, workers := range []int{1, 4, 8} {
+		dir, err := os.MkdirTemp("", "acrbench-serve")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		srv, err := service.New(service.Config{
+			StateDir: dir, Workers: workers, QueueCap: len(incs) + 1,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		srv.Start()
+		start := time.Now()
+		ids := make([]string, 0, len(incs))
+		for i, inc := range incs {
+			u := caseio.ToUpload(inc.Scenario)
+			job, err := srv.Submit(service.JobRequest{Case: &u, Seed: seed + int64(i)})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "acrbench:", err)
+				os.Exit(1)
+			}
+			ids = append(ids, job.ID)
+		}
+		for done := 0; done < len(ids); {
+			done = 0
+			for _, id := range ids {
+				if job, ok := srv.Job(id); ok && job.State.Terminal() {
+					done++
+				}
+			}
+			if done < len(ids) {
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+		wall := time.Since(start)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(ctx)
+		cancel()
+		os.RemoveAll(dir)
+		if workers == 1 {
+			baseline = wall
+		}
+		speedup := 1.0
+		if wall > 0 && baseline > 0 {
+			speedup = baseline.Seconds() / wall.Seconds()
+		}
+		fmt.Printf("%-8d %6d %10s %10.2f %11.2fx\n",
+			workers, len(incs), wall.Round(time.Millisecond),
+			float64(len(incs))/wall.Seconds(), speedup)
 	}
 }

@@ -117,6 +117,63 @@ func Save(dir string, s *scenario.Scenario) error {
 	return nil
 }
 
+// Upload is the wire form of a user-supplied case — the JSON body the
+// repair service accepts on POST /v1/repairs. Topology and Intents carry
+// the same text formats Load reads from topology.txt and intents.txt;
+// Configs maps device name to raw configuration text.
+type Upload struct {
+	Name     string            `json:"name"`
+	Topology string            `json:"topology"`
+	Intents  string            `json:"intents"`
+	Configs  map[string]string `json:"configs"`
+}
+
+// FromUpload decodes an uploaded case into a scenario, validating it the
+// way Load validates a case directory: the topology must parse and
+// validate, every config device must exist in the topology, and at least
+// one config must be present. Config text is NOT required to parse —
+// broken lines are repair candidates, exactly as with on-disk cases.
+func FromUpload(u Upload) (*scenario.Scenario, error) {
+	name := u.Name
+	if name == "" {
+		name = "upload"
+	}
+	t, err := ParseTopology(name, u.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	intents, err := ParseIntents(u.Intents)
+	if err != nil {
+		return nil, fmt.Errorf("intents: %w", err)
+	}
+	if len(u.Configs) == 0 {
+		return nil, errors.New("no configs")
+	}
+	configs := map[string]*netcfg.Config{}
+	for device, text := range u.Configs {
+		if t.Node(device) == nil {
+			return nil, fmt.Errorf("config %q: device not in topology", device)
+		}
+		configs[device] = netcfg.NewConfig(device, text)
+	}
+	return &scenario.Scenario{Name: name, Topo: t, Configs: configs, Intents: intents}, nil
+}
+
+// ToUpload renders a scenario as an Upload — the inverse of FromUpload,
+// used by clients submitting an in-memory case to the repair service.
+func ToUpload(s *scenario.Scenario) Upload {
+	u := Upload{
+		Name:     s.Name,
+		Topology: FormatTopology(s.Topo),
+		Intents:  FormatIntents(s.Intents),
+		Configs:  map[string]string{},
+	}
+	for d, c := range s.Configs {
+		u.Configs[d] = c.Text()
+	}
+	return u
+}
+
 // ParseTopology parses the topology format.
 func ParseTopology(name, text string) (*topo.Network, error) {
 	t := topo.New(name)

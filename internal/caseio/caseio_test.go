@@ -177,3 +177,45 @@ func TestSaveAtomic(t *testing.T) {
 		}
 	}
 }
+
+func TestUploadRoundTrip(t *testing.T) {
+	sc := scenario.Figure2()
+	u := ToUpload(sc)
+	if u.Name != sc.Name || u.Topology == "" || u.Intents == "" || len(u.Configs) != len(sc.Configs) {
+		t.Fatalf("ToUpload = %+v", u)
+	}
+	got, err := FromUpload(u)
+	if err != nil {
+		t.Fatalf("FromUpload: %v", err)
+	}
+	if got.Name != sc.Name || len(got.Intents) != len(sc.Intents) {
+		t.Fatalf("round trip: name %q intents %d", got.Name, len(got.Intents))
+	}
+	for d, c := range sc.Configs {
+		rt, ok := got.Configs[d]
+		if !ok || rt.Text() != c.Text() {
+			t.Fatalf("config %s did not round-trip", d)
+		}
+	}
+}
+
+func TestFromUploadErrors(t *testing.T) {
+	sc := scenario.Figure2()
+	base := ToUpload(sc)
+	for name, mutate := range map[string]func(*Upload){
+		"bad topology":   func(u *Upload) { u.Topology = "node" },
+		"bad intents":    func(u *Upload) { u.Intents = "reach onlytwo 10.0.0.0/24" },
+		"no configs":     func(u *Upload) { u.Configs = nil },
+		"unknown device": func(u *Upload) { u.Configs["ghost"] = "router bgp 65000" },
+	} {
+		u := base
+		u.Configs = map[string]string{}
+		for d, c := range base.Configs {
+			u.Configs[d] = c
+		}
+		mutate(&u)
+		if _, err := FromUpload(u); err == nil {
+			t.Errorf("%s: FromUpload succeeded", name)
+		}
+	}
+}

@@ -124,6 +124,10 @@ type Injector struct {
 	// wal is the journal's WAL path, captured by WireJournal so a torn
 	// tail can be written at the crash point.
 	wal string
+	// writer is the wired journal writer, abandoned (descriptor and
+	// session lock released, nothing synced) when a simulated in-process
+	// crash fires — the state a real process death leaves behind.
+	writer *journal.Writer
 }
 
 // New builds an injector for the plan.
@@ -149,6 +153,7 @@ func (i *Injector) Wire(opts core.Options) core.Options {
 func (i *Injector) WireJournal(w *journal.Writer) {
 	i.mu.Lock()
 	i.wal = journal.WALPath(w.Dir())
+	i.writer = w
 	i.mu.Unlock()
 	w.Hook = i.JournalHook
 }
@@ -177,7 +182,7 @@ func (i *Injector) JournalHook(n int, _ *journal.Record) error {
 	if crash {
 		i.stats.CrashesInjected++
 	}
-	torn, kill, wal := i.plan.CrashTornTail, i.plan.CrashKill, i.wal
+	torn, kill, wal, w := i.plan.CrashTornTail, i.plan.CrashKill, i.wal, i.writer
 	appended := i.plan.CrashAfterAppends
 	i.mu.Unlock()
 	if !crash {
@@ -195,7 +200,66 @@ func (i *Injector) JournalHook(n int, _ *journal.Record) error {
 			select {}
 		}
 	}
+	if w != nil {
+		// Release the WAL descriptor and session lock the way process
+		// death would, so the same process can replay and resume the dir.
+		w.Abandon()
+	}
 	panic(CrashPanic{Appends: appended})
+}
+
+// KillSwitch is the daemon-scale crash point: a single counter shared by
+// every journal writer of a multi-job process (the `acr serve` worker
+// pool), SIGKILLing the whole process once the total number of appends —
+// across all jobs, in whatever order the pool interleaves them — reaches
+// its budget. Unlike Plan.CrashAfterAppends, which crashes one engine run,
+// the KillSwitch takes down a daemon mid-flight so recovery tests can
+// assert every in-flight job resumes on restart.
+type KillSwitch struct {
+	mu    sync.Mutex
+	after int
+	seen  int
+	fired bool
+	// kill is the crash action, overridable by tests; the default SIGKILLs
+	// this process.
+	kill func()
+}
+
+// NewKillSwitch arms a switch that kills the process on append number
+// after+1 (so exactly `after` records across all writers reach the WALs,
+// mirroring Plan.CrashAfterAppends). after <= 0 disarms it.
+func NewKillSwitch(after int) *KillSwitch {
+	return &KillSwitch{after: after, kill: func() {
+		if p, err := os.FindProcess(os.Getpid()); err == nil {
+			p.Kill()
+			select {} // Kill is asynchronous; never let the caller race ahead
+		}
+	}}
+}
+
+// Hook is the journal.AppendHook to install on every writer the process
+// opens. The per-writer append count n is ignored: the switch counts
+// process-wide.
+func (k *KillSwitch) Hook(_ int, _ *journal.Record) error {
+	k.mu.Lock()
+	k.seen++
+	fire := k.after > 0 && k.seen > k.after && !k.fired
+	if fire {
+		k.fired = true
+	}
+	kill := k.kill
+	k.mu.Unlock()
+	if fire {
+		kill()
+	}
+	return nil
+}
+
+// Seen reports the process-wide append count observed so far.
+func (k *KillSwitch) Seen() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.seen
 }
 
 // tearWAL appends a torn frame to the WAL: a header promising a 200-byte

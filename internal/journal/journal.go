@@ -30,6 +30,7 @@ package journal
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -230,6 +231,7 @@ type AppendHook func(n int, rec *Record) error
 type Writer struct {
 	dir  string
 	f    *os.File
+	lock *os.File // held flock on LockPath(dir) for the Writer's lifetime
 	seq  int
 	n    int // appends through this Writer
 	Sync SyncMode
@@ -237,27 +239,69 @@ type Writer struct {
 	Hook AppendHook
 }
 
+// ErrLocked reports that another live Writer — usually another process —
+// holds a session directory's exclusive lock. Two appenders interleaving
+// frames in one WAL would corrupt it unrecoverably, so Create and Resume
+// refuse instead.
+var ErrLocked = errors.New("journal: session directory locked by another writer")
+
 // WALPath returns the session's WAL file path.
 func WALPath(dir string) string { return filepath.Join(dir, "wal.log") }
 
 // CheckpointPath returns the session's atomic-checkpoint file path.
 func CheckpointPath(dir string) string { return filepath.Join(dir, "checkpoint.json") }
 
+// LockPath returns the session's exclusive lock file path.
+func LockPath(dir string) string { return filepath.Join(dir, "lock") }
+
+// acquireLock takes the session directory's exclusive flock. The lock
+// belongs to the returned descriptor: it dies with the process (so a
+// SIGKILL never wedges the directory) and conflicts with every other open
+// of the same path, in-process or not.
+func acquireLock(dir string) (*os.File, error) {
+	l, err := os.OpenFile(LockPath(dir), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockExclusive(l.Fd()); err != nil {
+		l.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	return l, nil
+}
+
 // Create starts a fresh session in dir (creating it as needed), truncating
-// any previous session, and appends the header record.
+// any previous session, and appends the header record. The directory's
+// exclusive lock is held until Close (or process death): a second process
+// appending to the same session would interleave frames, so Create fails
+// with ErrLocked while another Writer is live.
 func Create(dir string, hdr Header) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(WALPath(dir), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	lock, err := acquireLock(dir)
 	if err != nil {
 		return nil, err
 	}
+	f, err := os.OpenFile(WALPath(dir), os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		lock.Close()
+		return nil, err
+	}
 	os.Remove(CheckpointPath(dir)) // stale checkpoint from a prior session
-	w := &Writer{dir: dir, f: f}
+	// Make the WAL's existence durable before its first record: a crash
+	// right after Create must leave a replayable (if empty) directory, not
+	// a directory whose WAL the filesystem forgot.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		lock.Close()
+		return nil, err
+	}
+	w := &Writer{dir: dir, f: f, lock: lock}
 	hdr.Version = Version
 	if err := w.append(Record{Type: TypeHeader, Header: &hdr}, true); err != nil {
 		f.Close()
+		lock.Close()
 		return nil, err
 	}
 	return w, nil
@@ -268,25 +312,34 @@ func Create(dir string, hdr Header) (*Writer, error) {
 // resumes from — the last valid checkpoint (or the header when none
 // exists) — discarding the torn tail and any events past the checkpoint:
 // the resumed engine regenerates those events deterministically, so
-// keeping them would double-log the replayed iterations.
+// keeping them would double-log the replayed iterations. Like Create,
+// Resume takes the directory's exclusive lock and fails with ErrLocked
+// while another Writer is live.
 func Resume(dir string, sess *Session) (*Writer, error) {
-	f, err := os.OpenFile(WALPath(dir), os.O_RDWR, 0o644)
+	lock, err := acquireLock(dir)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(sess.ResumeOffset); err != nil {
-		f.Close()
+	f, err := os.OpenFile(WALPath(dir), os.O_RDWR, 0o644)
+	if err != nil {
+		lock.Close()
 		return nil, err
+	}
+	fail := func(err error) (*Writer, error) {
+		f.Close()
+		lock.Close()
+		return nil, err
+	}
+	if err := f.Truncate(sess.ResumeOffset); err != nil {
+		return fail(err)
 	}
 	if _, err := f.Seek(sess.ResumeOffset, 0); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
-		return nil, err
+		return fail(err)
 	}
-	return &Writer{dir: dir, f: f, seq: sess.ResumeSeq}, nil
+	return &Writer{dir: dir, f: f, lock: lock, seq: sess.ResumeSeq}, nil
 }
 
 // append frames and writes one record, assigning its sequence number.
@@ -346,13 +399,31 @@ func (w *Writer) Appends() int { return w.n }
 // Dir returns the session directory.
 func (w *Writer) Dir() string { return w.dir }
 
-// Close syncs and closes the WAL.
+// Close syncs and closes the WAL, releasing the session lock.
 func (w *Writer) Close() error {
+	defer w.unlock()
 	if err := w.f.Sync(); err != nil {
 		w.f.Close()
 		return err
 	}
 	return w.f.Close()
+}
+
+// Abandon closes the WAL descriptor without syncing and releases the
+// session lock — the state a process crash leaves behind (whatever reached
+// the page cache survives, nothing is flushed). In-process crash
+// simulations (internal/chaos) call it at the crash point so the directory
+// is replayable and re-lockable exactly as it would be after a real kill.
+func (w *Writer) Abandon() {
+	w.f.Close()
+	w.unlock()
+}
+
+func (w *Writer) unlock() {
+	if w.lock != nil {
+		w.lock.Close()
+		w.lock = nil
+	}
 }
 
 // encodeFrame renders one framed record.

@@ -3,6 +3,7 @@ package journal
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -321,4 +322,61 @@ func TestSequenceGapDetected(t *testing.T) {
 	if !got.Truncated || !bytes.Contains([]byte(got.TruncatedReason), []byte("sequence")) {
 		t.Fatalf("sequence gap not flagged: %+v", got.TruncatedReason)
 	}
+}
+
+func TestSessionLockExcludesSecondWriter(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second Create on a live session must refuse: two appenders would
+	// interleave frames in one WAL.
+	if _, err := Create(dir, testHeader()); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Create: got %v, want ErrLocked", err)
+	}
+	// Resume must refuse for the same reason.
+	if err := w.AppendCheckpoint(testCheckpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(dir, sess); !errors.Is(err, ErrLocked) {
+		t.Fatalf("Resume while locked: got %v, want ErrLocked", err)
+	}
+	// Close releases the lock; the directory is writable again.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Resume(dir, sess)
+	if err != nil {
+		t.Fatalf("Resume after Close: %v", err)
+	}
+	w2.Close()
+}
+
+func TestAbandonReleasesLock(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCheckpoint(testCheckpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abandon() // the simulated-crash path: no sync, lock released
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Checkpoint == nil || sess.Checkpoint.Iteration != 1 {
+		t.Fatalf("checkpoint lost across Abandon: %+v", sess.Checkpoint)
+	}
+	w2, err := Resume(dir, sess)
+	if err != nil {
+		t.Fatalf("Resume after Abandon: %v", err)
+	}
+	w2.Close()
 }

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package journal
+
+// flockExclusive is a no-op where flock is unavailable; the lock file still
+// exists but mutual exclusion is advisory-only on such platforms.
+func flockExclusive(uintptr) error { return nil }

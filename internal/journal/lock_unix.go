@@ -1,0 +1,14 @@
+//go:build unix
+
+package journal
+
+import "syscall"
+
+// flockExclusive takes a non-blocking exclusive flock on fd. flock locks
+// belong to the open file description, so two Writers conflict even inside
+// one process — exactly the property the session lock needs — and the
+// kernel releases the lock when the descriptor dies with its process, so a
+// SIGKILL'd session never wedges its directory.
+func flockExclusive(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,85 @@
+package service
+
+import "sync"
+
+// eventLog is one job's append-only event history plus subscriber
+// notification. SSE handlers replay from any cursor and then block on a
+// notify channel; append wakes every subscriber. The log is capped: SSE is
+// observability, not a durable record (that's the journal), so a very long
+// run drops its oldest engine events rather than growing without bound.
+const maxJobEvents = 4096
+
+type eventLog struct {
+	mu      sync.Mutex
+	nextSeq int
+	events  []Event // events[i].Seq is contiguous; head may be trimmed
+	closed  bool
+	subs    map[chan struct{}]bool
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{nextSeq: 1, subs: map[chan struct{}]bool{}}
+}
+
+// append stamps the event's sequence number and wakes subscribers.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.events = append(l.events, e)
+	if len(l.events) > maxJobEvents {
+		l.events = l.events[len(l.events)-maxJobEvents:]
+	}
+	l.notifyLocked()
+	l.mu.Unlock()
+}
+
+// close marks the stream complete (job terminal) and wakes subscribers so
+// they can flush and end.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.notifyLocked()
+	l.mu.Unlock()
+}
+
+func (l *eventLog) notifyLocked() {
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // subscriber already has a pending wakeup
+		}
+	}
+}
+
+// since returns every event with Seq > after, and whether the stream is
+// complete.
+func (l *eventLog) since(after int) (evs []Event, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.Seq > after {
+			evs = append(evs, e)
+		}
+	}
+	return evs, l.closed
+}
+
+// subscribe registers a wakeup channel; the caller must unsubscribe.
+func (l *eventLog) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	l.subs[ch] = true
+	l.mu.Unlock()
+	return ch
+}
+
+func (l *eventLog) unsubscribe(ch chan struct{}) {
+	l.mu.Lock()
+	delete(l.subs, ch)
+	l.mu.Unlock()
+}

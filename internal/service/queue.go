@@ -1,0 +1,137 @@
+package service
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is the admission-control refusal: the queue is at capacity
+// and the client should retry later (the HTTP layer maps it to 429 +
+// Retry-After).
+var ErrQueueFull = errors.New("service: job queue full")
+
+// queue is a bounded priority FIFO: higher Priority pops first, ties pop
+// in submission (seq) order. pop blocks until an item arrives or the queue
+// closes; close lets drained workers exit.
+type queue struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	cap      int
+	items    jobHeap
+	reserved int // admission slots claimed by in-flight submissions
+	closed   bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues without admission control — the boot path, requeueing
+// jobs recovered from the state directory (they were admitted once; a
+// restart must never drop them because the cap shrank).
+func (q *queue) push(j *job) {
+	q.mu.Lock()
+	heap.Push(&q.items, j)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// reserve claims one admission slot ahead of the (fallible, slow) work of
+// persisting a new job, so concurrent submissions can never overshoot the
+// cap. Pair with pushReserved or unreserve.
+func (q *queue) reserve() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("service: shutting down")
+	}
+	if q.cap > 0 && q.items.Len()+q.reserved >= q.cap {
+		return ErrQueueFull
+	}
+	q.reserved++
+	return nil
+}
+
+// pushReserved converts a reservation into a queued job.
+func (q *queue) pushReserved(j *job) {
+	q.mu.Lock()
+	q.reserved--
+	heap.Push(&q.items, j)
+	q.cond.Signal()
+	q.mu.Unlock()
+}
+
+// unreserve releases a reservation whose job creation failed.
+func (q *queue) unreserve() {
+	q.mu.Lock()
+	q.reserved--
+	q.mu.Unlock()
+}
+
+// pop blocks for the next job; ok is false once the queue closes. A
+// closed queue stops dispatching even with items still queued: shutdown
+// leaves them persisted as "queued" for the next boot to pick up.
+func (q *queue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.closed || q.items.Len() == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.items).(*job), true
+}
+
+// remove pulls a queued job out (cancellation before a worker claims it).
+func (q *queue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, j := range q.items {
+		if j.id == id {
+			heap.Remove(&q.items, i)
+			return true
+		}
+	}
+	return false
+}
+
+// depth reports the queued-job count (admission headroom, /varz).
+func (q *queue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// close stops admission and wakes every blocked pop.
+func (q *queue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// jobHeap orders by (priority desc, seq asc). Only the queue touches it,
+// under the queue's lock.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}

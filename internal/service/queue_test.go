@@ -1,0 +1,68 @@
+package service
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestQueueOrderingAndAdmission(t *testing.T) {
+	q := newQueue(3)
+	mk := func(id string, seq, prio int) *job {
+		return &job{id: id, seq: seq, priority: prio}
+	}
+	for _, j := range []*job{mk("a", 1, 0), mk("b", 2, 5), mk("c", 3, 0)} {
+		if err := q.reserve(); err != nil {
+			t.Fatalf("reserve: %v", err)
+		}
+		q.pushReserved(j)
+	}
+	if err := q.reserve(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("reserve over cap = %v, want ErrQueueFull", err)
+	}
+	// Priority first, then FIFO among equals.
+	want := []string{"b", "a", "c"}
+	for _, id := range want {
+		j, ok := q.pop()
+		if !ok || j.id != id {
+			t.Fatalf("pop = %v,%v want %s", j, ok, id)
+		}
+	}
+	// Reservations release admission slots on failure.
+	if err := q.reserve(); err != nil {
+		t.Fatalf("reserve after drain: %v", err)
+	}
+	q.unreserve()
+	if d := q.depth(); d != 0 {
+		t.Fatalf("depth = %d, want 0", d)
+	}
+}
+
+func TestQueueCloseStopsDispatch(t *testing.T) {
+	q := newQueue(2)
+	q.push(&job{id: "a", seq: 1})
+	q.close()
+	// A closed queue never dispatches, even with items left: shutdown
+	// leaves them persisted for the next boot.
+	if j, ok := q.pop(); ok {
+		t.Fatalf("pop after close returned %s", j.id)
+	}
+	if err := q.reserve(); err == nil {
+		t.Fatal("reserve after close succeeded")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := newQueue(0)
+	q.push(&job{id: "a", seq: 1})
+	q.push(&job{id: "b", seq: 2})
+	if !q.remove("a") {
+		t.Fatal("remove a failed")
+	}
+	if q.remove("a") {
+		t.Fatal("second remove a succeeded")
+	}
+	j, ok := q.pop()
+	if !ok || j.id != "b" {
+		t.Fatalf("pop = %v, want b", j)
+	}
+}

@@ -1,0 +1,416 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acr/internal/caseio"
+	"acr/internal/journal"
+	"acr/internal/scenario"
+)
+
+// Config sizes and wires a Server.
+type Config struct {
+	// StateDir is the daemon's persistence root; every job lives in a
+	// subdirectory with its journal, so the daemon survives SIGKILL.
+	StateDir string
+	// Workers is the worker-pool size (<=0 means 1).
+	Workers int
+	// QueueCap bounds the queued-job count for admission control
+	// (<=0 means DefaultQueueCap). A full queue answers 429 + Retry-After.
+	QueueCap int
+	// JournalHook, when non-nil, is installed on every job's journal
+	// writer before the event mirror — the seam crash tests use to SIGKILL
+	// the daemon after N appends (chaos.KillSwitch) or to block appends.
+	JournalHook journal.AppendHook
+}
+
+// DefaultQueueCap is the admission-control bound when Config leaves
+// QueueCap zero.
+const DefaultQueueCap = 64
+
+// Server is the repair daemon: store + queue + worker pool + HTTP API.
+type Server struct {
+	cfg   Config
+	store *store
+	queue *queue
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	started  bool
+	draining bool
+
+	busyWorkers         atomic.Int64
+	candidatesValidated atomic.Int64
+	panicsQuarantined   atomic.Int64
+
+	startedAt time.Time
+}
+
+// New opens (or initializes) the state directory and reconstructs the job
+// index. Jobs the previous process left queued or running are requeued —
+// running ones carry a journal and resume from their last checkpoint.
+// Call Start to launch the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.StateDir == "" {
+		return nil, errors.New("service: Config.StateDir is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = DefaultQueueCap
+	}
+	st, err := openStore(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		store:     st,
+		queue:     newQueue(cfg.QueueCap),
+		baseCtx:   ctx,
+		cancelAll: cancel,
+		startedAt: time.Now(),
+	}
+	return s, nil
+}
+
+// Start requeues recovered jobs and launches the worker pool.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	// Recovered jobs bypass admission control: they were admitted once.
+	for _, j := range s.store.list() {
+		if j.state() == StateQueued {
+			s.queue.push(j)
+		}
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.workerLoop()
+	}
+}
+
+// Shutdown drains the daemon: admission stops, queued jobs stay queued on
+// disk for the next boot, and running jobs are interrupted at the next
+// engine checkpoint, journaled as resumable, and persisted back to
+// "queued". It returns when every worker has exited or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.queue.close()
+	for _, j := range s.store.list() {
+		j.mu.Lock()
+		if j.rec.State == StateRunning && j.cancel != nil {
+			j.drained = true
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancelAll() // hard-cancel stragglers; journals stay resumable
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/repairs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/repairs", s.handleList)
+	mux.HandleFunc("GET /v1/repairs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/repairs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/repairs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /varz", s.handleVarz)
+	return mux
+}
+
+// Submit validates, persists, and enqueues one job — the programmatic
+// core of POST /v1/repairs, also used by tests.
+func (s *Server) Submit(req JobRequest) (Job, error) {
+	if (req.Builtin == "") == (req.Case == nil) {
+		return Job{}, &apiError{http.StatusBadRequest,
+			"exactly one of builtin and case must be set"}
+	}
+	if _, err := req.Options(); err != nil {
+		return Job{}, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	var sc *scenario.Scenario
+	var err error
+	if req.Builtin != "" {
+		if sc, err = builtinScenario(req.Builtin); err != nil {
+			return Job{}, &apiError{http.StatusBadRequest, err.Error()}
+		}
+	} else {
+		if sc, err = caseio.FromUpload(*req.Case); err != nil {
+			return Job{}, &apiError{http.StatusBadRequest, fmt.Sprintf("bad case: %v", err)}
+		}
+	}
+	// Reserve the admission slot before the (slow, fallible) persistence
+	// work so concurrent submissions cannot overshoot the cap.
+	if err := s.queue.reserve(); err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			return Job{}, &apiError{http.StatusTooManyRequests, err.Error()}
+		}
+		return Job{}, &apiError{http.StatusServiceUnavailable, err.Error()}
+	}
+	j, err := s.store.create(req, sc)
+	if err != nil {
+		s.queue.unreserve()
+		return Job{}, &apiError{http.StatusInternalServerError, err.Error()}
+	}
+	s.queue.pushReserved(j)
+	return j.snapshot(), nil
+}
+
+// Cancel cancels a job: a queued job terminates immediately; a running
+// one is interrupted cooperatively at the engine's next context check and
+// terminates with its best-effort result attached.
+func (s *Server) Cancel(id string) (Job, error) {
+	j := s.store.get(id)
+	if j == nil {
+		return Job{}, &apiError{http.StatusNotFound, "no such job"}
+	}
+	j.mu.Lock()
+	state := j.rec.State
+	switch {
+	case state.Terminal():
+		rec := j.rec
+		j.mu.Unlock()
+		return rec, nil // idempotent
+	case state == StateQueued && s.queue.remove(id):
+		j.rec.State = StateCanceled
+		j.rec.Error = "canceled by operator"
+		j.mu.Unlock()
+		s.persistAndEvent(j, Event{Type: "state", State: StateCanceled, Error: "canceled by operator"})
+		j.events.close()
+	default:
+		// Running, or popped by a worker a moment ago: flag the request
+		// and fire the context if the worker already installed one.
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	return j.snapshot(), nil
+}
+
+// Job returns one job's current record.
+func (s *Server) Job(id string) (Job, bool) {
+	j := s.store.get(id)
+	if j == nil {
+		return Job{}, false
+	}
+	return j.snapshot(), true
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []Job {
+	var out []Job
+	for _, j := range s.store.list() {
+		out = append(out, j.snapshot())
+	}
+	return out
+}
+
+// --- HTTP handlers ---------------------------------------------------------
+
+// apiError carries an HTTP status through the Submit/Cancel helpers.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var ae *apiError
+	if errors.As(err, &ae) {
+		status = ae.status
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 4<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, &apiError{http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	job, err := s.Submit(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/repairs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := JobState(r.URL.Query().Get("state"))
+	if filter != "" && !filter.valid() {
+		writeErr(w, &apiError{http.StatusBadRequest, fmt.Sprintf("unknown state %q", filter)})
+		return
+	}
+	jobs := []Job{}
+	for _, j := range s.store.list() {
+		rec := j.snapshot()
+		if filter == "" || rec.State == filter {
+			jobs = append(jobs, rec)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, &apiError{http.StatusNotFound, "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleEvents streams a job's event log as server-sent events, replaying
+// history (from Last-Event-ID on reconnect) and then following the live
+// stream until the job reaches a terminal state or the client leaves.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.store.get(r.PathValue("id"))
+	if j == nil {
+		writeErr(w, &apiError{http.StatusNotFound, "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, &apiError{http.StatusNotImplemented, "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	after := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			after = n
+		}
+	}
+	wake := j.events.subscribe()
+	defer j.events.unsubscribe(wake)
+	for {
+		evs, closed := j.events.since(after)
+		for _, e := range evs {
+			data, err := json.Marshal(e)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Type, data)
+			after = e.Seq
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":        "ok",
+		"uptimeSeconds": time.Since(s.startedAt).Seconds(),
+		"workers":       s.cfg.Workers,
+		"busyWorkers":   s.busyWorkers.Load(),
+		"queueDepth":    s.queue.depth(),
+	})
+}
+
+// handleVarz serves expvar-style counters. The map is rebuilt per request
+// from live state and is deliberately unpublished (no expvar.Publish):
+// publishing is process-global and would collide across test servers.
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
+	byState := map[JobState]int{}
+	for _, j := range s.store.list() {
+		byState[j.state()]++
+	}
+	m := new(expvar.Map).Init()
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+		v := new(expvar.Int)
+		v.Set(int64(byState[st]))
+		m.Set("jobs_"+string(st), v)
+	}
+	set := func(name string, val int64) {
+		v := new(expvar.Int)
+		v.Set(val)
+		m.Set(name, v)
+	}
+	set("queue_depth", int64(s.queue.depth()))
+	set("workers", int64(s.cfg.Workers))
+	set("workers_busy", s.busyWorkers.Load())
+	set("candidates_validated", s.candidatesValidated.Load())
+	set("panics_quarantined", s.panicsQuarantined.Load())
+	w.Header().Set("Content-Type", "application/json")
+	// expvar.Map renders itself as a JSON object.
+	fmt.Fprintln(w, m.String())
+}
