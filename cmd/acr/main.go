@@ -8,8 +8,9 @@
 //	acr lint     (-builtin <name> | -dir <casedir>) [-json] [-severity info]
 //	acr localize (-builtin <name> | -dir <casedir>) [-formula tarantula] [-top 15]
 //	acr repair   (-builtin <name> | -dir <casedir>) [-strategy evolutionary] [-seed 0] [-out <dir>]
-//	             [-journal <dir> [-resume]] [-o text|json]
+//	             [-journal <dir> [-resume]] [-p <workers>] [-no-cache] [-o text|json]
 //	acr serve    -state-dir <dir> [-addr 127.0.0.1:7365] [-workers 2] [-queue-cap 64]
+//	             [-job-parallelism <n>] [-debug-addr 127.0.0.1:6060]
 //
 // lint exits 0 when clean, 1 when findings are at or above the -severity
 // threshold, and 2 when a configuration failed to parse.
@@ -229,6 +230,8 @@ func runRepair(args []string) error {
 	outDir := fs.String("out", "", "write repaired case to this directory")
 	maxIter := fs.Int("max-iterations", 0, "iteration cap (default 500)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the repair (0 = unlimited)")
+	parallel := fs.Int("p", 0, "candidate-validation workers (0 = GOMAXPROCS); any value yields the identical repair")
+	noCache := fs.Bool("no-cache", false, "disable the content-addressed evaluation cache")
 	journalDir := fs.String("journal", "", "write a crash-safe session journal to this directory")
 	resume := fs.Bool("resume", false, "resume the crashed session journaled in -journal")
 	crashAfter := fs.Int("crash-after-appends", 0, "testing hook: SIGKILL this process after N journal appends")
@@ -241,7 +244,8 @@ func runRepair(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter, MaxWallClock: *timeout}
+	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter, MaxWallClock: *timeout,
+		Parallelism: *parallel, NoCache: *noCache}
 	switch *strategy {
 	case "evolutionary":
 		opts.Strategy = core.Evolutionary

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +29,8 @@ func runServe(args []string) error {
 	stateDir := fs.String("state-dir", "", "job persistence directory (required)")
 	workers := fs.Int("workers", 2, "worker-pool size")
 	queueCap := fs.Int("queue-cap", service.DefaultQueueCap, "queued-job cap; a full queue answers 429")
+	jobParallel := fs.Int("job-parallelism", 0, "per-job validation-worker budget (0 = GOMAXPROCS/workers)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before hard cancel")
 	killAfter := fs.Int("kill-after-appends", 0, "testing hook: SIGKILL the daemon after N journal appends across all jobs")
 	holdUntil := fs.String("hold-until", "", "testing hook: block journal appends until this file exists")
@@ -35,7 +38,8 @@ func runServe(args []string) error {
 	if *stateDir == "" {
 		return fmt.Errorf("serve requires -state-dir")
 	}
-	cfg := service.Config{StateDir: *stateDir, Workers: *workers, QueueCap: *queueCap}
+	cfg := service.Config{StateDir: *stateDir, Workers: *workers, QueueCap: *queueCap,
+		JobParallelism: *jobParallel}
 	var hooks []journal.AppendHook
 	if *holdUntil != "" {
 		// Crash tests submit a batch and then release it, so the kill
@@ -67,6 +71,21 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *debugAddr != "" {
+		// The pprof import registers its handlers on http.DefaultServeMux;
+		// serving that mux on a separate listener keeps profiling endpoints
+		// off the API address. Anything other than loopback exposes heap and
+		// goroutine dumps to the network, so warn rather than refuse.
+		if host, _, err := net.SplitHostPort(*debugAddr); err != nil || !isLoopbackHost(host) {
+			fmt.Fprintf(os.Stderr, "acr: warning: -debug-addr %s is not loopback; pprof exposes process internals\n", *debugAddr)
+		}
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Printf("acr: pprof on http://%s/debug/pprof/\n", dln.Addr())
+		go http.Serve(dln, nil)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -92,4 +111,14 @@ func runServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "acr: drain incomplete: %v (journals remain resumable)\n", err)
 	}
 	return nil
+}
+
+// isLoopbackHost reports whether host names or addresses the loopback
+// interface (used to warn when -debug-addr would expose pprof).
+func isLoopbackHost(host string) bool {
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
 }

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|all [-size 48] [-seed 1]
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|all
+//	         [-size 48] [-seed 1] [-short] [-json BENCH_parallel.json]
 package main
 
 import (
@@ -27,9 +28,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
+	flag.BoolVar(&flagShort, "short", false, "smaller workloads (CI smoke runs)")
+	flag.StringVar(&flagJSON, "json", "BENCH_parallel.json", "machine-readable output path for -exp parallel (empty = don't write)")
 	flag.Parse()
 	run := func(name string, f func(int, int64)) {
 		if *exp == name || *exp == "all" {
@@ -53,6 +56,7 @@ func main() {
 		{"hypothesis", hypothesis},
 		{"resume", resumeExp},
 		{"serve", serveExp},
+		{"parallel", parallelExp},
 	} {
 		if *exp == e.name || *exp == "all" {
 			ran = true

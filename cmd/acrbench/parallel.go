@@ -1,0 +1,200 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"acr"
+	"acr/internal/core"
+	"acr/internal/netcfg"
+)
+
+// Flags shared with main: -short shrinks workloads for CI smoke runs,
+// -json names the machine-readable output of -exp parallel.
+var (
+	flagShort bool
+	flagJSON  string
+)
+
+// parallelRow is one configuration of the scaling sweep in the JSON output.
+type parallelRow struct {
+	Workers          int     `json:"workers"`
+	Cache            bool    `json:"cache"`
+	WallSeconds      float64 `json:"wallSeconds"`
+	Validated        int     `json:"candidatesValidated"`
+	PrefixSims       int     `json:"prefixSimulations"`
+	CacheHits        int     `json:"cacheHits"`
+	CacheMisses      int     `json:"cacheMisses"`
+	SpeedupVsSerial  float64 `json:"speedupVsSerial"`
+	CanonicalsSHA256 string  `json:"canonicalsSha256"`
+}
+
+// parallelReport is the BENCH_parallel.json schema: environment, the sweep,
+// and the derived verdicts, kept as a perf baseline for future changes.
+type parallelReport struct {
+	GeneratedAt     string        `json:"generatedAt"`
+	NumCPU          int           `json:"numCPU"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
+	GoVersion       string        `json:"goVersion"`
+	Short           bool          `json:"short"`
+	Cases           []string      `json:"cases"`
+	Rows            []parallelRow `json:"rows"`
+	Deterministic   bool          `json:"deterministic"`
+	HeadlineSpeedup float64       `json:"headlineSpeedup"` // cache -p8 vs no-cache -p1
+	WideningCase    string        `json:"wideningCase"`
+	WideningHitRate float64       `json:"wideningHitRate"`
+}
+
+// wrongASNWAN injects a wrong AS number into a WAN peer stanza — a fault
+// the universal operator set cannot repair (it needs value solving), so
+// the search stagnates and widens, re-proposing duplicates every round.
+func wrongASNWAN() *acr.Case {
+	c := acr.WANBackbone(6, 3, 2, acr.GenOptions{})
+	f := netcfg.MustParse(c.Configs["pop0"])
+	peer := f.BGP.Peers[0]
+	next, err := (netcfg.EditSet{Edits: []netcfg.Edit{netcfg.ReplaceLine{
+		At: peer.ASNLine, Text: " peer " + peer.Addr.String() + " as-number 63999",
+	}}}).Apply(c.Configs["pop0"])
+	if err != nil {
+		panic(err)
+	}
+	c.Configs["pop0"] = next
+	return c
+}
+
+// parallelExp measures the parallel validation stage and the evaluation
+// cache: the Figure 2 incident, a corpus slice, and a widening-heavy WAN
+// leak repaired at 1/2/4/8 validation workers with the cache on and off.
+// Every configuration must produce byte-identical Canonical() output per
+// cache setting (the cache legitimately changes the hit/miss counters, the
+// worker count must change nothing); the sweep prints speedups against the
+// serial run of the same cache setting, plus the headline number — the cache
+// at -p 8 against the pre-cache serial baseline. The host's core count is
+// reported alongside: worker scaling beyond NumCPU only overlaps, it cannot
+// multiply.
+func parallelExp(size int, seed int64) {
+	type benchCase struct {
+		name string
+		mk   func() *acr.Case
+		opts acr.RepairOptions
+	}
+	n := min(size, 8)
+	if flagShort {
+		n = 2
+	}
+	incs := corpus(n, seed)
+	cases := []benchCase{
+		{"figure2", acr.Figure2Incident, acr.RepairOptions{Strategy: core.BruteForce}},
+	}
+	for _, inc := range incs {
+		inc := inc
+		cases = append(cases, benchCase{inc.ID,
+			func() *acr.Case { return acr.IncidentCase(inc) },
+			acr.RepairOptions{Seed: seed}})
+	}
+	// The widening-heavy case: a wrong-ASN WAN restricted to the universal
+	// (syntactic) operators, which cannot solve it — the search stagnates,
+	// widens every iteration, and re-proposes the same survivors' edits,
+	// exactly the duplicate stream the cache exists to absorb (~40% of
+	// validations answer from the cache at 10 iterations).
+	widening := benchCase{"wan-wrong-asn", wrongASNWAN,
+		acr.RepairOptions{Seed: seed, MaxIterations: 10, Templates: core.UniversalTemplates()}}
+	cases = append(cases, widening)
+
+	rep := parallelReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Short:       flagShort,
+	}
+	for _, c := range cases {
+		rep.Cases = append(rep.Cases, c.name)
+	}
+	fmt.Printf("host: NumCPU=%d GOMAXPROCS=%d %s  (speedup from workers is bounded by cores; the cache is not)\n\n",
+		rep.NumCPU, rep.GOMAXPROCS, rep.GoVersion)
+	fmt.Printf("%-8s %-6s %10s %10s %10s %8s %8s %9s\n",
+		"workers", "cache", "wall", "validated", "prefixSim", "hits", "misses", "speedup")
+
+	serialWall := map[bool]float64{}
+	shaByCache := map[bool]map[string]bool{true: {}, false: {}}
+	var wideningHits, wideningResolved int
+	for _, cache := range []bool{false, true} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			row := parallelRow{Workers: workers, Cache: cache}
+			h := sha256.New()
+			for _, c := range cases {
+				opts := c.opts
+				opts.Parallelism = workers
+				opts.NoCache = !cache
+				start := time.Now()
+				res := acr.Repair(c.mk(), opts)
+				row.WallSeconds += time.Since(start).Seconds()
+				row.Validated += res.CandidatesValidated
+				row.PrefixSims += res.PrefixSimulations
+				row.CacheHits += res.CacheHits
+				row.CacheMisses += res.CacheMisses
+				fmt.Fprintf(h, "case %s\n%s", c.name, res.Canonical())
+				if cache && workers == 8 && c.name == widening.name {
+					wideningHits = res.CacheHits
+					wideningResolved = res.CacheHits + res.CacheMisses
+				}
+			}
+			row.CanonicalsSHA256 = hex.EncodeToString(h.Sum(nil))
+			shaByCache[cache][row.CanonicalsSHA256] = true
+			if workers == 1 {
+				serialWall[cache] = row.WallSeconds
+			}
+			row.SpeedupVsSerial = serialWall[cache] / row.WallSeconds
+			rep.Rows = append(rep.Rows, row)
+			fmt.Printf("%-8d %-6v %9.2fs %10d %10d %8d %8d %8.2fx\n",
+				workers, cache, row.WallSeconds, row.Validated, row.PrefixSims,
+				row.CacheHits, row.CacheMisses, row.SpeedupVsSerial)
+		}
+	}
+
+	rep.Deterministic = len(shaByCache[true]) == 1 && len(shaByCache[false]) == 1
+	fmt.Printf("\ndeterminism (-p 1 vs -p 8 Canonical() SHA per cache setting): ")
+	if rep.Deterministic {
+		fmt.Println("IDENTICAL")
+	} else {
+		fmt.Printf("DIVERGED (cache-on %d distinct, cache-off %d distinct)\n",
+			len(shaByCache[true]), len(shaByCache[false]))
+	}
+	// Headline: the optimized configuration (cache, -p 8) against the
+	// pre-change behavior (no cache, serial).
+	var opt float64
+	for _, r := range rep.Rows {
+		if r.Cache && r.Workers == 8 {
+			opt = r.WallSeconds
+		}
+	}
+	if opt > 0 {
+		rep.HeadlineSpeedup = serialWall[false] / opt
+		fmt.Printf("headline: cache -p 8 vs no-cache -p 1 = %.2fx\n", rep.HeadlineSpeedup)
+	}
+	rep.WideningCase = widening.name
+	if wideningResolved > 0 {
+		rep.WideningHitRate = float64(wideningHits) / float64(wideningResolved)
+		fmt.Printf("cache hit rate on widening-heavy %s: %.1f%% (%d of %d validations answered without simulation)\n",
+			widening.name, 100*rep.WideningHitRate, wideningHits, wideningResolved)
+	}
+
+	if flagJSON != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(flagJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", flagJSON)
+	}
+}

@@ -9,7 +9,11 @@ import (
 	"strings"
 )
 
-// PrefixOutcome is the control-plane result for one prefix.
+// PrefixOutcome is the control-plane result for one prefix. Once
+// SimulatePrefix returns, the outcome (including its Route values) is
+// immutable: the incremental verifier shares base outcomes by pointer
+// across candidate checks — and, with verify.Incremental.Clone, across
+// concurrently validating workers — so nothing may mutate one in place.
 type PrefixOutcome struct {
 	Prefix    netip.Prefix
 	Converged bool

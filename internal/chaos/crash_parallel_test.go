@@ -1,0 +1,76 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+
+	"acr/internal/core"
+	"acr/internal/journal"
+)
+
+// crashRunParallel is crashRun with the crash seam wired directly onto the
+// journal writer instead of through Wire(opts): Wire also installs the
+// simulation hook, which the engine detects and answers by dropping to
+// serial validation. Wiring only the journal hook leaves opts.Chaos nil, so
+// validation genuinely fans out across workers while the crash still fires
+// after the planned number of appends (journal appends are serialized
+// behind the merge step, so the crash point is deterministic).
+func crashRunParallel(t *testing.T, dir string, p core.Problem, opts core.Options, plan Plan) (crashed bool) {
+	t.Helper()
+	w, err := journal.Create(dir, core.SessionHeader("crash-test", p, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Journal = w
+	New(plan).WireJournal(w)
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			w.Close()
+			return
+		}
+		if _, ok := rec.(CrashPanic); !ok {
+			panic(rec)
+		}
+		crashed = true
+	}()
+	core.RepairContext(context.Background(), p, opts)
+	return false
+}
+
+// TestCrashResumeParallelValidation extends the byte-identity recovery
+// invariant to parallel validation: a run crashed mid-search with 8
+// validation workers resumes — at any worker count — to the result of the
+// uninterrupted serial run. The resumed engine also warms its evaluation
+// cache from the journaled candidate digests, so the hit/miss counters in
+// Canonical() survive the crash too.
+func TestCrashResumeParallelValidation(t *testing.T) {
+	p := figure2Problem()
+	serial := core.Options{Strategy: core.Evolutionary, Seed: 7, MaxIterations: 25, Parallelism: 1}
+	straight, appends := journaledRun(t, t.TempDir(), p, serial)
+	if !straight.Feasible {
+		t.Fatalf("uninterrupted run infeasible: %s", straight.Summary())
+	}
+	want := straight.Canonical()
+	if appends < 4 {
+		t.Fatalf("run too short to crash interestingly: %d appends", appends)
+	}
+
+	par := serial
+	par.Parallelism = 8
+	for _, n := range []int{2, appends / 2, appends - 1} {
+		for _, resumeWorkers := range []int{1, 8} {
+			dir := t.TempDir()
+			if !crashRunParallel(t, dir, p, par, Plan{CrashAfterAppends: n}) {
+				t.Fatalf("crash point %d not reached", n)
+			}
+			resumeOpts := serial
+			resumeOpts.Parallelism = resumeWorkers
+			res := resumeRun(t, dir, p, resumeOpts)
+			if got := res.Canonical(); got != want {
+				t.Errorf("crash@%d resumed -p %d: diverges from uninterrupted serial run\n--- want ---\n%s\n--- got ---\n%s",
+					n, resumeWorkers, want, got)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math/rand"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -63,6 +64,24 @@ type Options struct {
 	// (ablation): no diagnostic-boosted ranking, no seeded uncovered
 	// lines, no template pruning at diagnosed lines.
 	NoStaticPrior bool
+
+	// --- performance ----------------------------------------------------
+
+	// Parallelism is the number of workers validating candidates
+	// concurrently (default runtime.GOMAXPROCS(0); 1 runs serially).
+	// Outcomes merge in proposal order on a single goroutine, so the
+	// Result — including Canonical() — is byte-identical at every level;
+	// only wall-clock-dependent quarantines (CandidateTimeout) and runs
+	// with a chaos injector wired (which forces one worker, because
+	// injection is call-order-dependent) can observe the difference.
+	Parallelism int
+	// NoCache disables the content-addressed evaluation cache (ablation):
+	// duplicate proposals across iterations, widening rounds, and resumed
+	// sessions are re-simulated instead of answered from the cache.
+	// The setting is part of SearchDigest: a cached and an uncached run
+	// count differently, so a journaled session must resume under the
+	// same setting.
+	NoCache bool
 
 	// --- robustness -----------------------------------------------------
 
@@ -141,6 +160,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxValidationRetries <= 0 {
 		o.MaxValidationRetries = 2
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = time.Millisecond
 	}
@@ -183,13 +205,29 @@ type Result struct {
 	// (S = ∅), "iteration-cap", "deadline", or "canceled".
 	Termination string
 	Logs        []IterationLog
-	// CandidatesValidated counts all validator invocations.
+	// CandidatesValidated counts candidates resolved by validation —
+	// simulated or answered from the evaluation cache (it equals
+	// CacheHits+CacheMisses when the cache is enabled).
 	CandidatesValidated int
 	// PrefixSimulations counts per-prefix control-plane runs performed by
-	// validation (the incremental verifier's saving shows up here).
+	// validation (the incremental verifier's and the cache's savings show
+	// up here).
 	PrefixSimulations int
 	// IntentChecks counts intent re-verifications.
 	IntentChecks int
+
+	// --- performance ----------------------------------------------------
+
+	// CacheHits counts candidates answered by the content-addressed
+	// evaluation cache without simulation (0 with Options.NoCache).
+	CacheHits int
+	// CacheMisses counts candidates that were simulated and then stored.
+	CacheMisses int
+	// ParallelWorkers is the effective validation worker count the run
+	// used (1 when a chaos injector forced serial execution). It is
+	// excluded from Canonical(): runs at different parallelism produce
+	// identical results.
+	ParallelWorkers int
 
 	// --- static-analysis prior ------------------------------------------
 
@@ -254,6 +292,10 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&sb, "  quarantined: panicked=%d timedOut=%d transientRetries=%d\n",
 			r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
 	}
+	if r.CacheHits+r.CacheMisses > 0 {
+		fmt.Fprintf(&sb, "  cache: hits=%d misses=%d workers=%d\n",
+			r.CacheHits, r.CacheMisses, r.ParallelWorkers)
+	}
 	if r.StaticDiagnostics > 0 {
 		fmt.Fprintf(&sb, "  static prior: diagnostics=%d seededLines=%d templatesPruned=%d\n",
 			r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
@@ -316,6 +358,13 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 
 	res := &Result{FinalConfigs: p.Configs, Termination: "iteration-cap"}
 	sink := newJournalSink(opts.Journal, res, opts.CheckpointEvery)
+	ec := newEvalCache(opts)
+	res.ParallelWorkers = opts.Parallelism
+	if opts.Chaos != nil || opts.SimOpts.PrefixHook != nil {
+		// Stateful injection seams count invocations; concurrency would
+		// make the injection sequence scheduler-dependent.
+		res.ParallelWorkers = 1
+	}
 
 	best := &bestEffort{fitness: -1}
 	finish := func(term string) *Result {
@@ -356,6 +405,10 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		st = restored
 		res.Resumed = true
 		res.ResumedFrom = st.iter
+		// Rebuild the evaluation cache the straight-through run held at
+		// this checkpoint from the journaled candidate digests, so the
+		// resumed run's hits and misses replay identically.
+		ec.warm(opts.Resume.Candidates, st.iter)
 	} else {
 		base := preserve(res, p, p.Configs, nil, opts)
 		if base == nil {
@@ -444,16 +497,26 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		}
 
 		// --- Validate -----------------------------------------------------
+		// Proposals are validated by the batch validator's worker pool
+		// (internal/core/parallel.go); this loop is the single-threaded
+		// merge: it consumes outcomes strictly in proposal order, and it
+		// alone touches res, the log, the sink, the cache, and best — so
+		// the Result is identical at any Options.Parallelism.
+		bv := newBatchValidator(ctx, props, opts, ec)
 		var kept []proposal
+		feasibleAt := -1
 		for i := range props {
 			if _, ok := interrupted(); ok {
+				bv.close()
 				res.Logs = append(res.Logs, log)
 				return abort()
 			}
 			pr := &props[i]
-			rep, err := validateCandidate(ctx, res, pr, opts)
-			if err != nil {
+			out := bv.resolve(i)
+			out.stats.mergeInto(res)
+			if !out.ok {
 				if _, ok := interrupted(); ok {
+					bv.close()
 					res.Logs = append(res.Logs, log)
 					return abort()
 				}
@@ -461,39 +524,52 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 			}
 			res.CandidatesValidated++
 			log.Validated++
-			pr.fitness = rep.NumFailed()
-			sink.candidate(iter, pr.update.Desc, pr.fitness)
+			pr.fitness = out.fitness
+			if out.hit {
+				res.CacheHits++
+			} else if out.digest != "" {
+				res.CacheMisses++
+				ec.put(out.digest, pr.fitness)
+			}
+			sink.candidate(iter, pr.update.Desc, pr.fitness, out.digest)
 			if pr.fitness < log.BestFitness {
 				log.BestFitness = pr.fitness
 			}
 			if best.fitness < 0 || pr.fitness < best.fitness {
-				best.observe(pr.fitness, applyUpdate(pr.parent.configs, pr.update),
-					append(append([]string{}, pr.parent.descs...), pr.update.Desc))
+				best.observeLazy(pr.fitness, pr)
 			}
 			if pr.fitness == 0 {
-				// Feasible update found (termination condition 1).
-				final := applyUpdate(pr.parent.configs, pr.update)
-				res.Feasible = true
-				res.FinalConfigs = final
-				res.Applied = append(append([]string{}, pr.parent.descs...), pr.update.Desc)
-				for d, c := range final {
-					// Compare by text, not pointer: a resumed run's configs
-					// are rebuilt from the checkpoint and never share
-					// pointers with p.Configs.
-					if c.Text() != p.Configs[d].Text() {
-						res.Diffs = append(res.Diffs, netcfg.Diff(p.Configs[d], c))
-					}
-				}
-				sort.Strings(res.Diffs)
-				res.Logs = append(res.Logs, log)
-				sink.iteration(log)
-				return finish("feasible")
+				// Feasible update found (termination condition 1). Later
+				// proposals are discarded unmerged, exactly as the serial
+				// engine never validated them.
+				feasibleAt = i
+				break
 			}
 			// Discard candidates whose fitness exceeds the previous
 			// iteration's (the paper's preservation rule).
 			if pr.fitness <= prevFitness {
 				kept = append(kept, *pr)
 			}
+		}
+		bv.close()
+		if feasibleAt >= 0 {
+			pr := &props[feasibleAt]
+			final := applyUpdate(pr.parent.configs, pr.update)
+			res.Feasible = true
+			res.FinalConfigs = final
+			res.Applied = append(append([]string{}, pr.parent.descs...), pr.update.Desc)
+			for d, c := range final {
+				// Compare by text, not pointer: a resumed run's configs
+				// are rebuilt from the checkpoint and never share
+				// pointers with p.Configs.
+				if c.Text() != p.Configs[d].Text() {
+					res.Diffs = append(res.Diffs, netcfg.Diff(p.Configs[d], c))
+				}
+			}
+			sort.Strings(res.Diffs)
+			res.Logs = append(res.Logs, log)
+			sink.iteration(log)
+			return finish("feasible")
 		}
 		log.Kept = len(kept)
 		res.Logs = append(res.Logs, log)
@@ -631,13 +707,27 @@ func tryResume(res *Result, best *bestEffort, p Problem, opts Options) (loopStat
 }
 
 // bestEffort tracks the best configuration version observed so far, so an
-// interrupted or infeasible run still returns partial progress.
+// interrupted or infeasible run still returns partial progress. Improving
+// candidates are recorded unmaterialized — the parent's configs plus the
+// winning update — and the full configuration map is only built when
+// something actually reads it (the final result, a checkpoint). A long
+// run that improves on hundreds of candidates but keeps only the last
+// therefore clones configurations O(checkpoints) times, not O(improvements).
 type bestEffort struct {
 	fitness int // -1 until first observation
+	// configs/applied are the materialized form: either observed directly
+	// (base version, checkpoint restore) or built by materialize.
 	configs map[string]*netcfg.Config
 	applied []string
+	// parent/update are the pending lazy observation; parent is nil when
+	// configs is current.
+	parent      map[string]*netcfg.Config
+	parentDescs []string
+	update      Update
 }
 
+// observe records a fully materialized version (the base, or a restored
+// checkpoint's best).
 func (b *bestEffort) observe(fitness int, configs map[string]*netcfg.Config, applied []string) {
 	if b.fitness >= 0 && fitness >= b.fitness {
 		return
@@ -645,6 +735,29 @@ func (b *bestEffort) observe(fitness int, configs map[string]*netcfg.Config, app
 	b.fitness = fitness
 	b.configs = configs
 	b.applied = applied
+	b.parent = nil
+}
+
+// observeLazy records an improving candidate without materializing it.
+// The caller has already established the improvement (the merge loop's
+// fitness check), so this unconditionally replaces the previous best.
+func (b *bestEffort) observeLazy(fitness int, pr *proposal) {
+	b.fitness = fitness
+	b.configs = nil
+	b.applied = nil
+	b.parent = pr.parent.configs
+	b.parentDescs = pr.parent.descs
+	b.update = pr.update
+}
+
+// materialize builds (and memoizes) the best version's configuration map.
+func (b *bestEffort) materialize() {
+	if b.parent == nil {
+		return
+	}
+	b.configs = applyUpdate(b.parent, b.update)
+	b.applied = append(append([]string{}, b.parentDescs...), b.update.Desc)
+	b.parent = nil
 }
 
 func (b *bestEffort) writeTo(res *Result) {
@@ -654,6 +767,7 @@ func (b *bestEffort) writeTo(res *Result) {
 		res.BestEffortFitness = res.BaseFailing
 		return
 	}
+	b.materialize()
 	res.BestEffortConfigs = b.configs
 	res.BestEffortFitness = b.fitness
 	res.BestEffortApplied = b.applied
@@ -669,33 +783,41 @@ func (b *bestEffort) writeTo(res *Result) {
 // validateCandidate runs one candidate's validation behind the full
 // resilience boundary: chaos injection, transient-fault retries with
 // exponential backoff, panic quarantine, and the per-candidate timeout.
-func validateCandidate(ctx context.Context, res *Result, pr *proposal, opts Options) (*verify.Report, error) {
+// Counters and errors go to st — the caller's private valStats slot —
+// never to the shared Result, so validations may run concurrently; iv is
+// the verifier to validate against (the parent's own on the merge
+// goroutine, a per-worker clone in the pool).
+func validateCandidate(ctx context.Context, st *valStats, iv *verify.Incremental, pr *proposal, opts Options) (*verify.Report, error) {
 	backoff := opts.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt <= opts.MaxValidationRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		retry := func(err error) {
+			lastErr = err
+			st.retries++
+			st.recordError(&RepairError{Kind: KindTransient, Op: "validate", Candidate: pr.update.Desc, Err: err})
+			if attempt < opts.MaxValidationRetries {
+				// Back off only when another attempt follows; sleeping
+				// after the final failure would waste RetryBackoff*2^k of
+				// wall clock on a candidate already being given up on.
+				sleepCtx(ctx, backoff)
+				backoff *= 2
+			}
+		}
 		if opts.Chaos != nil {
 			if err := opts.Chaos.BeforeValidate(); err != nil {
 				if IsTransient(err) {
-					lastErr = err
-					res.ValidationRetries++
-					res.recordError(&RepairError{Kind: KindTransient, Op: "validate", Candidate: pr.update.Desc, Err: err})
-					sleepCtx(ctx, backoff)
-					backoff *= 2
+					retry(err)
 					continue
 				}
 				return nil, err
 			}
 		}
-		rep, err := checkOnce(ctx, res, pr, opts)
+		rep, err := checkOnce(ctx, st, iv, pr, opts)
 		if err != nil && IsTransient(err) {
-			lastErr = err
-			res.ValidationRetries++
-			res.recordError(&RepairError{Kind: KindTransient, Op: "validate", Candidate: pr.update.Desc, Err: err})
-			sleepCtx(ctx, backoff)
-			backoff *= 2
+			retry(err)
 			continue
 		}
 		return rep, err
@@ -705,7 +827,7 @@ func validateCandidate(ctx context.Context, res *Result, pr *proposal, opts Opti
 
 // checkOnce performs one validator invocation with panic quarantine and
 // the per-candidate timeout.
-func checkOnce(ctx context.Context, res *Result, pr *proposal, opts Options) (rep *verify.Report, err error) {
+func checkOnce(ctx context.Context, st *valStats, iv *verify.Incremental, pr *proposal, opts Options) (rep *verify.Report, err error) {
 	cctx := ctx
 	if opts.CandidateTimeout > 0 {
 		var cancel context.CancelFunc
@@ -714,8 +836,8 @@ func checkOnce(ctx context.Context, res *Result, pr *proposal, opts Options) (re
 	}
 	defer func() {
 		if rec := recover(); rec != nil {
-			res.CandidatesPanicked++
-			res.recordError(&RepairError{
+			st.panicked++
+			st.recordError(&RepairError{
 				Kind:      KindCandidatePanic,
 				Op:        "validate",
 				Candidate: pr.update.Desc,
@@ -726,22 +848,22 @@ func checkOnce(ctx context.Context, res *Result, pr *proposal, opts Options) (re
 		}
 	}()
 	if opts.FullValidation {
-		rep, err = pr.parent.iv.FullCheckCtx(cctx, pr.update.Edits)
+		rep, err = iv.FullCheckCtx(cctx, pr.update.Edits)
 		if rep != nil {
-			res.IntentChecks += len(rep.Verdicts)
-			res.PrefixSimulations += len(pr.parent.iv.BaseNet().AllPrefixes())
+			st.intentChecks += len(rep.Verdicts)
+			st.prefixSims += len(iv.BaseNet().AllPrefixes())
 		}
 	} else {
 		var stats verify.Stats
-		rep, stats, err = pr.parent.iv.CheckCtx(cctx, pr.update.Edits)
-		res.PrefixSimulations += stats.PrefixesSimulated
-		res.IntentChecks += stats.IntentsReverified
+		rep, stats, err = iv.CheckCtx(cctx, pr.update.Edits)
+		st.prefixSims += stats.PrefixesSimulated
+		st.intentChecks += stats.IntentsReverified
 	}
 	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
 		// The candidate's own timeout tripped, not the run's: quarantine
 		// just this candidate.
-		res.CandidatesTimedOut++
-		res.recordError(&RepairError{Kind: KindCandidateTimeout, Op: "validate", Candidate: pr.update.Desc, Err: err})
+		st.timedOut++
+		st.recordError(&RepairError{Kind: KindCandidateTimeout, Op: "validate", Candidate: pr.update.Desc, Err: err})
 		err = errQuarantined
 	}
 	return rep, err

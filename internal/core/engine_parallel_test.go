@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"acr/internal/chaos"
+	"acr/internal/core"
+	"acr/internal/incidents"
+	"acr/internal/scenario"
+)
+
+// TestParallelDeterminismFigure2 is the tentpole invariant: the validation
+// worker count must not change the repair. -p 1 runs the exact pre-parallel
+// serial loop; -p 4 and -p 8 dispatch to clones and merge in proposal
+// order; all must render byte-identical Canonical() output (which includes
+// every counter and the cache hit/miss totals, and deliberately excludes
+// ParallelWorkers).
+func TestParallelDeterminismFigure2(t *testing.T) {
+	for _, strat := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"bruteforce", core.Options{Strategy: core.BruteForce}},
+		{"evolutionary", core.Options{Strategy: core.Evolutionary, Seed: 7, MaxIterations: 25}},
+	} {
+		s := scenario.Figure2()
+		p := problemOf(s)
+		serial := strat.opts
+		serial.Parallelism = 1
+		want := core.Repair(p, serial)
+		if !want.Feasible {
+			t.Fatalf("%s: serial run infeasible: %s", strat.name, want.Summary())
+		}
+		if want.ParallelWorkers != 1 {
+			t.Errorf("%s: serial ParallelWorkers = %d, want 1", strat.name, want.ParallelWorkers)
+		}
+		for _, workers := range []int{4, 8} {
+			opts := strat.opts
+			opts.Parallelism = workers
+			res := core.Repair(p, opts)
+			if res.ParallelWorkers != workers {
+				t.Errorf("%s -p %d: ParallelWorkers = %d", strat.name, workers, res.ParallelWorkers)
+			}
+			if got := res.Canonical(); got != want.Canonical() {
+				t.Errorf("%s: -p %d diverges from -p 1\n--- p1 ---\n%s\n--- p%d ---\n%s",
+					strat.name, workers, want.Canonical(), workers, got)
+			}
+			if res.CandidatesValidated != res.CacheHits+res.CacheMisses {
+				t.Errorf("%s -p %d: validated=%d but hits+misses=%d — every candidate must resolve through the cache when it is on",
+					strat.name, workers, res.CandidatesValidated, res.CacheHits+res.CacheMisses)
+			}
+		}
+		// The cache setting is part of the canonical counters, but feasibility
+		// and the repaired configs must not depend on it.
+		nocache := strat.opts
+		nocache.Parallelism = 8
+		nocache.NoCache = true
+		res := core.Repair(p, nocache)
+		if !res.Feasible {
+			t.Errorf("%s: -no-cache -p 8 infeasible: %s", strat.name, res.Summary())
+		}
+		if res.CacheHits != 0 || res.CacheMisses != 0 {
+			t.Errorf("%s: NoCache run counted hits=%d misses=%d", strat.name, res.CacheHits, res.CacheMisses)
+		}
+		for d, cfg := range res.FinalConfigs {
+			if cfg.Text() != want.FinalConfigs[d].Text() {
+				t.Errorf("%s: NoCache changed the repaired config of %s", strat.name, d)
+			}
+		}
+	}
+}
+
+// TestParallelDeterminismCorpus repeats the -p 1 vs -p 8 equality over a
+// corpus slice: different misconfiguration classes exercise different
+// templates, widening rounds, and best-effort paths. It also checks that
+// the slice exercises the cache at all — at least one incident must answer
+// a duplicate proposal from the cache rather than re-simulating.
+func TestParallelDeterminismCorpus(t *testing.T) {
+	incs, err := incidents.GenerateCorpus(incidents.CorpusOptions{Size: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tested, hits := 0, 0
+	for _, inc := range incs {
+		p := core.Problem{Topo: inc.Scenario.Topo, Configs: inc.Scenario.Configs, Intents: inc.Scenario.Intents}
+		opts := core.Options{Seed: 11, MaxIterations: 20, Parallelism: 1}
+		serial := core.Repair(p, opts)
+		if serial.BaseFailing == 0 {
+			continue // injection invisible to the intent suite
+		}
+		tested++
+		hits += serial.CacheHits
+		opts.Parallelism = 8
+		par := core.Repair(p, opts)
+		if par.Canonical() != serial.Canonical() {
+			t.Errorf("%s: -p 8 diverges from -p 1\n--- p1 ---\n%s\n--- p8 ---\n%s",
+				inc.ID, serial.Canonical(), par.Canonical())
+		}
+	}
+	if tested == 0 {
+		t.Fatal("no visible incidents in corpus slice")
+	}
+	if hits == 0 {
+		t.Error("corpus slice produced zero cache hits — duplicate proposals should recur across iterations")
+	}
+}
+
+// TestRetryBackoffNotAfterFinalAttempt pins the backoff fix: when every
+// attempt fails transiently, the engine sleeps between attempts but not
+// after the last one. With RetryBackoff=250ms and MaxValidationRetries=1,
+// each of the (at most 4) exhausted candidates legitimately sleeps 250ms
+// once; the old bug slept the doubled backoff (500ms) more per candidate
+// after classifying the final failure — ~3s total against ~1s — so the 2s
+// bound discriminates firmly without being timing-sensitive.
+func TestRetryBackoffNotAfterFinalAttempt(t *testing.T) {
+	s := scenario.Figure2()
+	p := problemOf(s)
+	opts := core.Options{
+		Strategy:             core.BruteForce,
+		MaxIterations:        1,
+		CandidateCap:         4,
+		MaxValidationRetries: 1,
+		RetryBackoff:         250 * time.Millisecond,
+	}
+	opts = chaos.New(chaos.Plan{TransientEveryN: 1}).Wire(opts)
+	start := time.Now()
+	res := core.Repair(p, opts)
+	wall := time.Since(start)
+	if res.Feasible {
+		t.Fatalf("all-transient run should be infeasible: %s", res.Summary())
+	}
+	if res.ValidationRetries < 3 {
+		t.Fatalf("ValidationRetries = %d, want >= 3 (injector barely engaged; bound below meaningless)",
+			res.ValidationRetries)
+	}
+	if wall > 2*time.Second {
+		t.Errorf("wall clock %v exceeds 2s — backoff is sleeping after the final attempt", wall)
+	}
+}

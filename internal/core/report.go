@@ -37,8 +37,10 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 		fmt.Fprintf(&sb, "static analysis: %d diagnostics, %d uncovered lines seeded, %d template applications pruned\n",
 			r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
 	}
-	fmt.Fprintf(&sb, "iterations: %d  candidates validated: %d  prefix simulations: %d  intent checks: %d\n\n",
+	fmt.Fprintf(&sb, "iterations: %d  candidates validated: %d  prefix simulations: %d  intent checks: %d\n",
 		r.Iterations, r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
+	fmt.Fprintf(&sb, "cache: %d hits, %d misses  validation workers: %d\n\n",
+		r.CacheHits, r.CacheMisses, r.ParallelWorkers)
 
 	if len(r.Logs) > 0 {
 		fmt.Fprintf(&sb, "## Iterations\n\n")
@@ -98,6 +100,9 @@ func (r *Result) Canonical() string {
 		r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
 	fmt.Fprintf(&sb, "quarantine: panicked=%d timedOut=%d retries=%d\n",
 		r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
+	// ParallelWorkers is deliberately absent: the worker count must not
+	// change the result, and this line is how tests enforce that.
+	fmt.Fprintf(&sb, "cache: hits=%d misses=%d\n", r.CacheHits, r.CacheMisses)
 	for _, a := range r.Applied {
 		fmt.Fprintf(&sb, "applied %s\n", a)
 	}

@@ -54,9 +54,13 @@ func (p Problem) Digest() string {
 func (o Options) SearchDigest() string {
 	o = o.withDefaults()
 	h := sha256.New()
-	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v\n",
+	// Parallelism is deliberately absent: -p 1 and -p N runs are
+	// byte-identical, so resuming under a different worker count is
+	// legitimate. NoCache is present: it changes the hit/miss counters in
+	// Canonical, so cached and uncached sessions must not mix.
+	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v nocache=%v\n",
 		o.Formula.Name, o.MaxIterations, o.MinSusp, o.TopKLines, o.PopulationCap,
-		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior)
+		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache)
 	for _, t := range o.Templates {
 		fmt.Fprintf(h, "template=%s\n", t.Name())
 	}
@@ -161,6 +165,8 @@ func buildCheckpoint(res *Result, best *bestEffort, st loopState) journal.Checkp
 			CandidatesPanicked:    res.CandidatesPanicked,
 			CandidatesTimedOut:    res.CandidatesTimedOut,
 			ValidationRetries:     res.ValidationRetries,
+			CacheHits:             res.CacheHits,
+			CacheMisses:           res.CacheMisses,
 		},
 	}
 	for _, m := range st.pop {
@@ -171,6 +177,7 @@ func buildCheckpoint(res *Result, best *bestEffort, st loopState) journal.Checkp
 		})
 	}
 	if best.fitness >= 0 {
+		best.materialize()
 		cp.Best = &journal.BestEffort{
 			Fitness: best.fitness,
 			Configs: configsToLines(best.configs),
@@ -209,6 +216,8 @@ func restoreCheckpoint(res *Result, best *bestEffort, p Problem, opts Options, c
 	res.CandidatesPanicked = cp.Counters.CandidatesPanicked
 	res.CandidatesTimedOut = cp.Counters.CandidatesTimedOut
 	res.ValidationRetries = cp.Counters.ValidationRetries
+	res.CacheHits = cp.Counters.CacheHits
+	res.CacheMisses = cp.Counters.CacheMisses
 	res.Logs = nil
 	for _, l := range cp.Logs {
 		res.Logs = append(res.Logs, logFromJournal(l))
@@ -280,11 +289,11 @@ func (j *journalSink) emit(op string, err error) {
 	}
 }
 
-func (j *journalSink) candidate(iter int, desc string, fitness int) {
+func (j *journalSink) candidate(iter int, desc string, fitness int, digest string) {
 	if j == nil || j.disabled {
 		return
 	}
-	j.emit("journal", j.w.AppendCandidate(journal.Candidate{Iteration: iter, Desc: desc, Fitness: fitness}))
+	j.emit("journal", j.w.AppendCandidate(journal.Candidate{Iteration: iter, Desc: desc, Fitness: fitness, Digest: digest}))
 }
 
 func (j *journalSink) iteration(l IterationLog) {

@@ -93,11 +93,16 @@ type Header struct {
 }
 
 // Candidate is one validated candidate event (observability; recovery
-// state lives in checkpoints).
+// state lives in checkpoints — except Digest, which additionally lets a
+// resumed run warm its content-addressed fitness cache).
 type Candidate struct {
 	Iteration int    `json:"iteration"`
 	Desc      string `json:"desc"`
 	Fitness   int    `json:"fitness"`
+	// Digest is the content digest of the candidate's post-edit
+	// configuration set (empty in journals written before the evaluation
+	// cache existed, or when caching is disabled).
+	Digest string `json:"digest,omitempty"`
 }
 
 // Iteration mirrors the engine's per-iteration log line.
@@ -147,6 +152,8 @@ type Counters struct {
 	CandidatesPanicked    int `json:"candidatesPanicked"`
 	CandidatesTimedOut    int `json:"candidatesTimedOut"`
 	ValidationRetries     int `json:"validationRetries"`
+	CacheHits             int `json:"cacheHits,omitempty"`
+	CacheMisses           int `json:"cacheMisses,omitempty"`
 }
 
 // ErrorEvent is a flattened engine error (stacks and wrapped causes do not

@@ -73,7 +73,10 @@ type Node struct {
 	Parents []int
 }
 
-// Graph is an append-only derivation DAG.
+// Graph is an append-only derivation DAG: nodes are only ever added
+// (during BuildProvenance), never modified or removed. A fully built
+// graph is therefore read-only, which is what lets verify.Incremental
+// clones share one base graph across concurrently validating workers.
 type Graph struct {
 	nodes    []*Node
 	byPrefix map[netip.Prefix][]int

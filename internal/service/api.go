@@ -83,6 +83,12 @@ type JobRequest struct {
 	// not the job's lifetime (deadlines are excluded from the search
 	// digest for exactly this reason).
 	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
+	// Parallelism requests this many validation workers for the job.
+	// The server clamps it to its per-job budget (Config.JobParallelism);
+	// 0 takes the budget. Parallelism never changes the repair result —
+	// only how fast it arrives — so it is excluded from the search digest
+	// and a job may resume under a different value.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Options converts the request's engine knobs to core.Options.
@@ -99,7 +105,11 @@ func (r *JobRequest) Options() (core.Options, error) {
 	if r.TimeoutSeconds < 0 {
 		return opts, fmt.Errorf("negative timeoutSeconds")
 	}
+	if r.Parallelism < 0 {
+		return opts, fmt.Errorf("negative parallelism")
+	}
 	opts.MaxWallClock = time.Duration(r.TimeoutSeconds * float64(time.Second))
+	opts.Parallelism = r.Parallelism
 	return opts, nil
 }
 
@@ -115,10 +125,11 @@ type Job struct {
 	Case    string `json:"case"`
 	Builtin string `json:"builtin,omitempty"`
 	Seed    int64  `json:"seed"`
-	// Strategy, MaxIterations, TimeoutSeconds echo the request.
+	// Strategy, MaxIterations, TimeoutSeconds, Parallelism echo the request.
 	Strategy       string  `json:"strategy,omitempty"`
 	MaxIterations  int     `json:"maxIterations,omitempty"`
 	TimeoutSeconds float64 `json:"timeoutSeconds,omitempty"`
+	Parallelism    int     `json:"parallelism,omitempty"`
 	// Attempts counts times a worker picked the job up (1 for a job that
 	// ran once; higher after crash- or drain-resumes).
 	Attempts int `json:"attempts,omitempty"`
@@ -157,6 +168,9 @@ type ResultJSON struct {
 	CandidatesPanicked    int `json:"candidatesPanicked,omitempty"`
 	CandidatesTimedOut    int `json:"candidatesTimedOut,omitempty"`
 	ValidationRetries     int `json:"validationRetries,omitempty"`
+	CacheHits             int `json:"cacheHits,omitempty"`
+	CacheMisses           int `json:"cacheMisses,omitempty"`
+	ParallelWorkers       int `json:"parallelWorkers,omitempty"`
 
 	Applied []string `json:"applied,omitempty"`
 	Diffs   []string `json:"diffs,omitempty"`
@@ -197,6 +211,9 @@ func NewResultJSON(res *core.Result) *ResultJSON {
 		CandidatesPanicked:    res.CandidatesPanicked,
 		CandidatesTimedOut:    res.CandidatesTimedOut,
 		ValidationRetries:     res.ValidationRetries,
+		CacheHits:             res.CacheHits,
+		CacheMisses:           res.CacheMisses,
+		ParallelWorkers:       res.ParallelWorkers,
 
 		Applied: res.Applied,
 		Diffs:   res.Diffs,

@@ -136,6 +136,7 @@ func (s *store) create(req JobRequest, sc *scenario.Scenario) (*job, error) {
 		Strategy:       req.Strategy,
 		MaxIterations:  req.MaxIterations,
 		TimeoutSeconds: req.TimeoutSeconds,
+		Parallelism:    req.Parallelism,
 	}
 	j := &job{id: rec.ID, seq: seq, priority: req.Priority, events: newEventLog(), rec: rec}
 	if err := os.MkdirAll(s.jobDir(j.id), 0o755); err != nil {

@@ -1,0 +1,87 @@
+package verify_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"acr/internal/scenario"
+	"acr/internal/verify"
+)
+
+// TestCloneConcurrentCheck exercises the parallel-validation contract: any
+// number of clones may run CheckCtx concurrently (one clone per goroutine)
+// and each must produce the same report the original produces serially.
+// Run under -race, this is the proof that Clone shares no mutable state.
+func TestCloneConcurrentCheck(t *testing.T) {
+	s := scenario.Figure2()
+	iv := newIV(t, s)
+	edits := scenario.Figure2PaperRepair()
+	want, _, err := iv.Check(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	reports := make([]*verify.Report, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := iv.Clone()
+			for i := 0; i < 5; i++ {
+				rep, _, err := cl.CheckCtx(context.Background(), edits)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				reports[w] = rep
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if !reportsEqual(reports[w], want) {
+			t.Errorf("worker %d report disagrees with serial check:\ngot:\n%s\nwant:\n%s",
+				w, reports[w].Summary(), want.Summary())
+		}
+	}
+	// The original is untouched: same base report, same serial check.
+	if iv.BaseReport().NumFailed() != 1 {
+		t.Errorf("original base failing = %d after concurrent clone checks, want 1", iv.BaseReport().NumFailed())
+	}
+	again, _, err := iv.Check(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reportsEqual(again, want) {
+		t.Error("original's check changed after concurrent clone checks")
+	}
+}
+
+// TestCloneCommitIndependence checks that committing edits to a clone
+// rebases only the clone: the original keeps its base configs and report,
+// and vice versa.
+func TestCloneCommitIndependence(t *testing.T) {
+	s := scenario.Figure2()
+	iv := newIV(t, s)
+	cl := iv.Clone()
+	if err := cl.Commit(scenario.Figure2PaperRepair()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.BaseReport().NumFailed(); got != 0 {
+		t.Fatalf("clone after committing the paper repair: %d failing, want 0", got)
+	}
+	if got := iv.BaseReport().NumFailed(); got != 1 {
+		t.Fatalf("original after clone commit: %d failing, want 1 (commit leaked)", got)
+	}
+	origText := iv.BaseConfigs()["A"].Text()
+	if cl.BaseConfigs()["A"].Text() == origText {
+		t.Fatal("clone's A config identical to original after a repair that edits A")
+	}
+}

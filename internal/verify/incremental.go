@@ -84,6 +84,36 @@ func (iv *Incremental) rebase(configs map[string]*netcfg.Config) {
 	}
 }
 
+// Clone returns an independently usable verifier over the same base.
+//
+// Everything behind a clone is shared by reference and immutable once
+// rebase returns: the parsed files, the compiled bgp.Net, the simulation
+// Outcome and its per-prefix outcomes, the provenance graph, the base
+// report, and the line-dependency index are built once and only ever read
+// afterward (CheckCtx constructs fresh maps for candidate state and reuses
+// base entries by pointer; rebase replaces the maps wholesale rather than
+// mutating them). Clone therefore only copies the top-level map headers,
+// so a Commit on one clone — which rebases that clone onto new maps —
+// can never be observed, even partially, by checks running on another.
+// Concurrent CheckCtx/FullCheckCtx calls on distinct clones are race-free;
+// a single Incremental is still not safe for concurrent use with Commit.
+func (iv *Incremental) Clone() *Incremental {
+	cp := *iv
+	cp.configs = make(map[string]*netcfg.Config, len(iv.configs))
+	for d, c := range iv.configs {
+		cp.configs[d] = c
+	}
+	cp.files = make(map[string]*netcfg.File, len(iv.files))
+	for d, f := range iv.files {
+		cp.files[d] = f
+	}
+	cp.lineDeps = make(map[netcfg.LineRef]map[netip.Prefix]bool, len(iv.lineDeps))
+	for l, m := range iv.lineDeps {
+		cp.lineDeps[l] = m // inner maps are read-only after rebase
+	}
+	return &cp
+}
+
 // Base accessors.
 
 // BaseReport returns the verification report of the current base.
