@@ -22,3 +22,23 @@ const (
 func repairExitCode(res *core.Result) int {
 	return service.ExitCode(res)
 }
+
+// Exit codes for `acr serve` startup failures, so a supervisor can tell a
+// misconfigured node (do not restart, fix the unit file) from a transient
+// one (restart may help) without parsing stderr. They sit above the repair
+// outcome codes (0-5).
+const (
+	exitServeState = 6 // -state-dir unusable (missing parent, not a directory, unwritable)
+	exitServeBind  = 7 // listen address unavailable (-addr or -debug-addr)
+	exitServeFleet = 8 // fleet configuration rejected (-peers / -advertise / -fleet-dir)
+)
+
+// exitError carries a specific process exit code up through main's single
+// error path alongside the one-line diagnostic.
+type exitError struct {
+	code int
+	err  error
+}
+
+func (e *exitError) Error() string { return e.err.Error() }
+func (e *exitError) Unwrap() error { return e.err }

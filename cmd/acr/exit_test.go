@@ -1,6 +1,10 @@
 package main
 
 import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"acr/internal/core"
@@ -31,4 +35,70 @@ func TestRepairExitCode(t *testing.T) {
 			}
 		})
 	}
+}
+
+// serveExitCode runs runServe on a failing configuration and extracts the
+// exitError code (0 = no exitError). Only startup-failure paths return
+// from runServe, so these tests never block on a serving daemon.
+func serveExitCode(t *testing.T, args []string) int {
+	t.Helper()
+	err := runServe(args)
+	if err == nil {
+		t.Fatalf("runServe(%v) succeeded, want startup failure", args)
+	}
+	var ee *exitError
+	if !errors.As(err, &ee) {
+		return 0
+	}
+	return ee.code
+}
+
+func TestServeStartupExitCodes(t *testing.T) {
+	t.Run("state dir is a file", func(t *testing.T) {
+		f := filepath.Join(t.TempDir(), "state")
+		if err := os.WriteFile(f, []byte("not a dir"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got := serveExitCode(t, []string{"-state-dir", f}); got != exitServeState {
+			t.Errorf("exit code = %d, want %d (exitServeState)", got, exitServeState)
+		}
+	})
+	t.Run("bind conflict", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		args := []string{"-state-dir", t.TempDir(), "-addr", ln.Addr().String()}
+		if got := serveExitCode(t, args); got != exitServeBind {
+			t.Errorf("exit code = %d, want %d (exitServeBind)", got, exitServeBind)
+		}
+	})
+	t.Run("debug bind conflict", func(t *testing.T) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		args := []string{"-state-dir", t.TempDir(), "-debug-addr", ln.Addr().String()}
+		if got := serveExitCode(t, args); got != exitServeBind {
+			t.Errorf("exit code = %d, want %d (exitServeBind)", got, exitServeBind)
+		}
+	})
+	t.Run("peers without fleet dir", func(t *testing.T) {
+		args := []string{"-state-dir", t.TempDir(), "-peers", "127.0.0.1:7366"}
+		if got := serveExitCode(t, args); got != exitServeFleet {
+			t.Errorf("exit code = %d, want %d (exitServeFleet)", got, exitServeFleet)
+		}
+	})
+	t.Run("fleet dir is a file", func(t *testing.T) {
+		f := filepath.Join(t.TempDir(), "fleet")
+		if err := os.WriteFile(f, []byte("not a dir"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		args := []string{"-state-dir", t.TempDir(), "-peers", "127.0.0.1:7366", "-fleet-dir", f}
+		if got := serveExitCode(t, args); got != exitServeFleet {
+			t.Errorf("exit code = %d, want %d (exitServeFleet)", got, exitServeFleet)
+		}
+	})
 }

@@ -11,6 +11,8 @@
 //	             [-journal <dir> [-resume]] [-p <workers>] [-no-cache] [-o text|json]
 //	acr serve    -state-dir <dir> [-addr 127.0.0.1:7365] [-workers 2] [-queue-cap 64]
 //	             [-job-parallelism <n>] [-debug-addr 127.0.0.1:6060]
+//	             [-peers <addr,addr,...> -fleet-dir <dir> [-advertise <addr>]
+//	              [-lease-ttl 15s] [-health-interval 1s]]
 //
 // lint exits 0 when clean, 1 when findings are at or above the -severity
 // threshold, and 2 when a configuration failed to parse.
@@ -28,6 +30,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -67,6 +70,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "acr:", err)
+		var ee *exitError
+		if errors.As(err, &ee) {
+			os.Exit(ee.code)
+		}
 		os.Exit(1)
 	}
 }

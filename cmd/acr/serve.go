@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -9,6 +10,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -23,6 +25,11 @@ import (
 // directory resumes its in-flight jobs from their last checkpoints;
 // SIGINT/SIGTERM drain gracefully (running jobs checkpoint and return to
 // "queued" for the next boot).
+//
+// With -peers and -fleet-dir the daemon joins a repair fleet: jobs are
+// placed on a consistent-hash ring over the members, leased while
+// running, and adopted by a live peer when their owner dies (see
+// DESIGN.md §12 and README "Running a fleet").
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "127.0.0.1:7365", "listen address")
@@ -34,12 +41,38 @@ func runServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before hard cancel")
 	killAfter := fs.Int("kill-after-appends", 0, "testing hook: SIGKILL the daemon after N journal appends across all jobs")
 	holdUntil := fs.String("hold-until", "", "testing hook: block journal appends until this file exists")
+	peers := fs.String("peers", "", "comma-separated peer addresses; joins this node to a repair fleet")
+	advertise := fs.String("advertise", "", "this node's address as it appears in peers' -peers lists (default -addr)")
+	fleetDir := fs.String("fleet-dir", "", "shared fleet directory, same filesystem as every node's -state-dir (required with -peers)")
+	leaseTTL := fs.Duration("lease-ttl", service.DefaultLeaseTTL, "job lease duration; expired leases on down nodes are adopted by peers")
+	healthInterval := fs.Duration("health-interval", service.DefaultHealthInterval, "peer healthcheck period")
 	fs.Parse(args)
 	if *stateDir == "" {
 		return fmt.Errorf("serve requires -state-dir")
 	}
+	// Probe the state dir up front so a bad unit file fails fast with a
+	// distinct code instead of a generic error from deep in the store.
+	if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+		return &exitError{exitServeState, fmt.Errorf("state dir: %w", err)}
+	}
 	cfg := service.Config{StateDir: *stateDir, Workers: *workers, QueueCap: *queueCap,
 		JobParallelism: *jobParallel}
+	if *peers != "" || *fleetDir != "" {
+		if *fleetDir == "" {
+			return &exitError{exitServeFleet, fmt.Errorf("-peers requires -fleet-dir")}
+		}
+		self := *advertise
+		if self == "" {
+			self = *addr
+		}
+		cfg.Fleet = &service.FleetConfig{
+			Self:           self,
+			Peers:          strings.Split(*peers, ","),
+			Dir:            *fleetDir,
+			LeaseTTL:       *leaseTTL,
+			HealthInterval: *healthInterval,
+		}
+	}
 	var hooks []journal.AppendHook
 	if *holdUntil != "" {
 		// Crash tests submit a batch and then release it, so the kill
@@ -69,7 +102,10 @@ func runServe(args []string) error {
 	}
 	srv, err := service.New(cfg)
 	if err != nil {
-		return err
+		if errors.Is(err, service.ErrFleetSetup) {
+			return &exitError{exitServeFleet, err}
+		}
+		return &exitError{exitServeState, err}
 	}
 	if *debugAddr != "" {
 		// The pprof import registers its handlers on http.DefaultServeMux;
@@ -81,18 +117,23 @@ func runServe(args []string) error {
 		}
 		dln, err := net.Listen("tcp", *debugAddr)
 		if err != nil {
-			return fmt.Errorf("debug listener: %w", err)
+			return &exitError{exitServeBind, fmt.Errorf("debug listener: %w", err)}
 		}
 		fmt.Printf("acr: pprof on http://%s/debug/pprof/\n", dln.Addr())
 		go http.Serve(dln, nil)
 	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		return err
+		return &exitError{exitServeBind, fmt.Errorf("listen %s: %w", *addr, err)}
 	}
 	srv.Start()
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("acr: serving on http://%s (state %s, %d workers)\n", ln.Addr(), *stateDir, *workers)
+	if cfg.Fleet != nil {
+		fmt.Printf("acr: serving on http://%s (state %s, %d workers, fleet %s + %d peers)\n",
+			ln.Addr(), *stateDir, *workers, cfg.Fleet.Self, len(cfg.Fleet.Peers))
+	} else {
+		fmt.Printf("acr: serving on http://%s (state %s, %d workers)\n", ln.Addr(), *stateDir, *workers)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()

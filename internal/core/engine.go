@@ -660,6 +660,26 @@ func versionRNG(seed int64, descs []string) *rand.Rand {
 	return rand.New(rand.NewSource(deriveSeed(seed, "version/"+strings.Join(descs, "|"))))
 }
 
+// retryRNG derives the backoff-jitter stream for one candidate, addressed
+// by its update description. Keying the stream to the candidate's content
+// (not to which worker validates it, or in what order) keeps `-p 1` ≡
+// `-p N` determinism and resume byte-identity intact: jitter only ever
+// shifts wall clock, and even the draws themselves are reproducible.
+func retryRNG(seed int64, desc string) *rand.Rand {
+	return rand.New(rand.NewSource(deriveSeed(seed, "retry/"+desc)))
+}
+
+// jitterBackoff draws a full-jitter sleep: uniform over [0, backoff].
+// Full jitter (rather than equal jitter or none) decorrelates the retry
+// storms a shared fault — one overloaded solver box behind the validator —
+// would otherwise synchronize across candidates and nodes.
+func jitterBackoff(rng *rand.Rand, backoff time.Duration) time.Duration {
+	if backoff <= 0 {
+		return 0
+	}
+	return time.Duration(rng.Int63n(int64(backoff) + 1))
+}
+
 // deriveSeed mixes the run seed with a stream label.
 func deriveSeed(seed int64, stream string) int64 {
 	h := fnv.New64a()
@@ -789,6 +809,7 @@ func (b *bestEffort) writeTo(res *Result) {
 // goroutine, a per-worker clone in the pool).
 func validateCandidate(ctx context.Context, st *valStats, iv *verify.Incremental, pr *proposal, opts Options) (*verify.Report, error) {
 	backoff := opts.RetryBackoff
+	var jitter *rand.Rand
 	var lastErr error
 	for attempt := 0; attempt <= opts.MaxValidationRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -802,7 +823,13 @@ func validateCandidate(ctx context.Context, st *valStats, iv *verify.Incremental
 				// Back off only when another attempt follows; sleeping
 				// after the final failure would waste RetryBackoff*2^k of
 				// wall clock on a candidate already being given up on.
-				sleepCtx(ctx, backoff)
+				// The sleep is full-jitter over the doubling window, drawn
+				// from the candidate's content-derived stream (retryRNG) so
+				// the schedule is reproducible under any parallelism.
+				if jitter == nil {
+					jitter = retryRNG(opts.Seed, pr.update.Desc)
+				}
+				sleepCtx(ctx, jitterBackoff(jitter, backoff))
 				backoff *= 2
 			}
 		}

@@ -138,3 +138,38 @@ func TestRetryBackoffNotAfterFinalAttempt(t *testing.T) {
 		t.Errorf("wall clock %v exceeds 2s — backoff is sleeping after the final attempt", wall)
 	}
 }
+
+// TestRetryBackoffFullJitter pins the jitter satellite alongside the
+// no-sleep-after-final-attempt fix above. With TransientEveryN=1,
+// MaxValidationRetries=2, and RetryBackoff=500ms, the pre-jitter
+// deterministic schedule sleeps 500ms+1000ms per exhausted candidate —
+// 6s across the 4 capped candidates. Full jitter draws each sleep
+// uniformly over [0, window], so the expected total is 3s and the
+// probability of exceeding 5.5s is ~4σ out — the bound discriminates the
+// old fixed schedule (>= 6s) firmly without being timing-sensitive. The
+// run must also stay correct: retries still counted, run still completes.
+func TestRetryBackoffFullJitter(t *testing.T) {
+	s := scenario.Figure2()
+	p := problemOf(s)
+	opts := core.Options{
+		Strategy:             core.BruteForce,
+		MaxIterations:        1,
+		CandidateCap:         4,
+		MaxValidationRetries: 2,
+		RetryBackoff:         500 * time.Millisecond,
+	}
+	opts = chaos.New(chaos.Plan{TransientEveryN: 1}).Wire(opts)
+	start := time.Now()
+	res := core.Repair(p, opts)
+	wall := time.Since(start)
+	if res.Feasible {
+		t.Fatalf("all-transient run should be infeasible: %s", res.Summary())
+	}
+	if res.ValidationRetries < 3 {
+		t.Fatalf("ValidationRetries = %d, want >= 3 (injector barely engaged; bound below meaningless)",
+			res.ValidationRetries)
+	}
+	if wall > 5500*time.Millisecond {
+		t.Errorf("wall clock %v — backoff is sleeping the full deterministic schedule (>= 6s); jitter is not applied", wall)
+	}
+}

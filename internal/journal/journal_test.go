@@ -380,3 +380,66 @@ func TestAbandonReleasesLock(t *testing.T) {
 	}
 	w2.Close()
 }
+
+// TestOwnerRecordsReplay covers the fleet custody chain: owner records
+// round-trip through replay in order, survive resume truncation when they
+// precede the checkpoint, and never affect the resume state itself.
+func TestOwnerRecordsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendOwner(Owner{Node: "n1:7001", Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendCheckpoint(testCheckpoint(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Truncated {
+		t.Fatalf("owner record truncated the session: %s", sess.TruncatedReason)
+	}
+	if len(sess.Owners) != 1 || sess.Owners[0].Node != "n1:7001" {
+		t.Fatalf("owners = %+v", sess.Owners)
+	}
+	if sess.Checkpoint == nil || sess.Checkpoint.Iteration != 1 {
+		t.Fatalf("checkpoint = %+v", sess.Checkpoint)
+	}
+
+	// An adopting node resumes and appends its own claim; replaying again
+	// yields the custody chain oldest-first.
+	w2, err := Resume(dir, sess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.AppendOwner(Owner{Node: "n2:7002", Attempt: 2, AdoptedFrom: "n1:7001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sess2, err := Replay(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sess2.Owners) != 2 || sess2.Owners[1].AdoptedFrom != "n1:7001" {
+		t.Fatalf("custody chain = %+v", sess2.Owners)
+	}
+	// Provenance only: the resume point is still the checkpoint, not the
+	// owner record that follows it... owner records after the checkpoint
+	// are discarded by the next resume like any other event.
+	if sess2.Checkpoint == nil || sess2.Checkpoint.Iteration != 1 {
+		t.Fatalf("checkpoint after adoption = %+v", sess2.Checkpoint)
+	}
+	if sess2.ResumeSeq != sess.ResumeSeq {
+		t.Fatalf("owner record moved the resume point: %d != %d", sess2.ResumeSeq, sess.ResumeSeq)
+	}
+}

@@ -1,0 +1,177 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"acr/internal/service"
+)
+
+// TestFleetSIGKILLAdoption is the fleet acceptance-criteria end-to-end:
+// three real daemon processes share a fleet directory; the one holding
+// in-flight jobs is SIGKILLed mid-repair, and the surviving peers must
+// detect the death, adopt the orphaned jobs, and finish each with a
+// canonical result byte-identical to an uninterrupted run.
+func TestFleetSIGKILLAdoption(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary; skipped in -short")
+	}
+	const nodes = 3
+
+	// Reserve three ports so every daemon can be told the full membership
+	// up front (static peer lists; see DESIGN.md §12).
+	addrs := make([]string, nodes)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	fleetDir := t.TempDir()
+	stateDirs := make([]string, nodes)
+	for i := range stateDirs {
+		stateDirs[i] = t.TempDir()
+	}
+	peersOf := func(i int) string {
+		var ps []string
+		for j, a := range addrs {
+			if j != i {
+				ps = append(ps, a)
+			}
+		}
+		return strings.Join(ps, ",")
+	}
+	fleetEnv := func(i int) []string {
+		return []string{
+			"ACR_SERVICE_ADDR=" + addrs[i],
+			"ACR_SERVICE_FLEET_DIR=" + fleetDir,
+			"ACR_SERVICE_PEERS=" + peersOf(i),
+			"ACR_SERVICE_LEASE_MS=500",
+			"ACR_SERVICE_HEALTH_MS=100",
+		}
+	}
+
+	// Node 0 is the designated victim: its journal appends are held until
+	// submissions finish, then a kill switch SIGKILLs it 3 appends in.
+	// 3 is deliberate: with two workers, neither job can reach a terminal
+	// append that fast, so both victims are guaranteed non-terminal at the
+	// kill — a job that finishes before dying would be stranded (terminal
+	// jobs are never adopted), not orphaned.
+	holdFile := filepath.Join(t.TempDir(), "go")
+	cmd0, _ := startDaemon(t, stateDirs[0], 3, holdFile, fleetEnv(0)...)
+	cmd1, _ := startDaemon(t, stateDirs[1], 0, "", fleetEnv(1)...)
+	defer cmd1.Process.Kill()
+	cmd2, _ := startDaemon(t, stateDirs[2], 0, "", fleetEnv(2)...)
+	defer cmd2.Process.Kill()
+
+	// Submit through the victim until the ring has placed at least two jobs
+	// on it (those park on the held journal hook; jobs forwarded to the
+	// survivors just run to completion and are ignored here).
+	victims := map[int64]service.Job{}
+	for seed := int64(1); seed <= 64 && len(victims) < 2; seed++ {
+		job := postJob(t, addrs[0], service.JobRequest{Builtin: "figure2", Seed: seed})
+		if job.Owner == addrs[0] {
+			victims[seed] = job
+		}
+	}
+	if len(victims) < 2 {
+		t.Fatalf("ring placed only %d jobs on the victim node in 64 seeds", len(victims))
+	}
+
+	// Ground truth: uninterrupted in-process runs of the victim seeds.
+	expected := map[int64]string{}
+	for seed := range victims {
+		expected[seed] = referenceSHA(t, service.JobRequest{Builtin: "figure2", Seed: seed})
+	}
+
+	// Release the hold; the kill switch fires mid-repair.
+	if err := os.WriteFile(holdFile, []byte("go"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd0.Wait(); err == nil {
+		t.Fatal("victim daemon exited cleanly; expected SIGKILL")
+	}
+	if ws, ok := cmd0.ProcessState.Sys().(syscall.WaitStatus); ok {
+		if !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+			t.Fatalf("victim died with %v, want SIGKILL", ws)
+		}
+	}
+
+	// Survivors: mark the victim down, adopt its jobs, resume, finish.
+	// Fan-out reads mean either survivor can answer for any job.
+	deadline := time.Now().Add(120 * time.Second)
+	final := map[int64]service.Job{}
+	for len(final) < len(victims) && time.Now().Before(deadline) {
+		for seed, v := range victims {
+			if _, ok := final[seed]; ok {
+				continue
+			}
+			resp, err := http.Get("http://" + addrs[1] + "/v1/repairs/" + v.ID)
+			if err != nil {
+				break
+			}
+			var job service.Job
+			err = json.NewDecoder(resp.Body).Decode(&job)
+			resp.Body.Close()
+			if err == nil && job.State.Terminal() {
+				final[seed] = job
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if len(final) < len(victims) {
+		t.Fatalf("only %d/%d victim jobs terminal after the kill", len(final), len(victims))
+	}
+
+	for seed, job := range final {
+		if job.State != service.StateDone {
+			t.Errorf("seed %d: state = %s (error %q), want done", seed, job.State, job.Error)
+			continue
+		}
+		if job.Owner == addrs[0] || (job.Owner != addrs[1] && job.Owner != addrs[2]) {
+			t.Errorf("seed %d: owner = %q, want a survivor", seed, job.Owner)
+		}
+		if job.AdoptedFrom != addrs[0] || job.Adoptions < 1 {
+			t.Errorf("seed %d: adoptedFrom=%q adoptions=%d, want custody from the victim",
+				seed, job.AdoptedFrom, job.Adoptions)
+		}
+		if job.Result == nil || job.Result.CanonicalSHA256 != expected[seed] {
+			t.Errorf("seed %d: result %+v, want canonical sha %s (byte-identical adoption)",
+				seed, job.Result, expected[seed])
+		}
+	}
+
+	// Fleet counters: adoptions across the survivors account for every
+	// victim job exactly once (the rename arbiter forbids double adoption),
+	// and both survivors agree the victim is down.
+	var totalAdopted int64
+	for _, a := range addrs[1:] {
+		var varz map[string]int64
+		getFrom(t, a, "/varz", &varz)
+		totalAdopted += varz["leases_adopted"]
+		if varz["peers_down"] < 1 {
+			t.Errorf("%s varz peers_down = %d, want >= 1", a, varz["peers_down"])
+		}
+	}
+	if totalAdopted != int64(len(victims)) {
+		t.Errorf("leases_adopted across survivors = %d, want %d", totalAdopted, len(victims))
+	}
+
+	// Membership view from a survivor names all three nodes.
+	var peers struct {
+		Members []string `json:"members"`
+	}
+	getFrom(t, addrs[1], "/v1/peers", &peers)
+	if len(peers.Members) != nodes {
+		t.Errorf("/v1/peers members = %v, want %d nodes", peers.Members, nodes)
+	}
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	members := []string{"10.0.0.1:7365", "10.0.0.2:7365", "10.0.0.3:7365"}
+	r1 := newRing(members)
+	r2 := newRing([]string{members[2], members[0], members[1], members[0]}) // shuffled + dup
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r1.order(key), r2.order(key)
+		if len(o1) != len(members) {
+			t.Fatalf("order(%q) = %v, want all %d members", key, o1, len(members))
+		}
+		seen := map[string]bool{}
+		for _, n := range o1 {
+			if seen[n] {
+				t.Fatalf("order(%q) repeats %s: %v", key, n, o1)
+			}
+			seen[n] = true
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("ring order depends on member input order: %v vs %v", o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	r := newRing(members)
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.order(fmt.Sprintf("job-%d", i))[0]]++
+	}
+	for _, m := range members {
+		// Perfect balance is 1/3; 64 vnodes should keep every member well
+		// above a 15% floor.
+		if share := float64(counts[m]) / keys; share < 0.15 {
+			t.Errorf("member %s owns %.1f%% of keys, want >= 15%% (counts %v)", m, 100*share, counts)
+		}
+	}
+}
+
+// TestRingConsistency pins the property adoption relies on: removing one
+// member reassigns only that member's keys — every other node's preference
+// order is the original order with the dead node deleted.
+func TestRingConsistency(t *testing.T) {
+	full := newRing([]string{"a:1", "b:1", "c:1"})
+	without := newRing([]string{"a:1", "c:1"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("job-%d", i)
+		var filtered []string
+		for _, n := range full.order(key) {
+			if n != "b:1" {
+				filtered = append(filtered, n)
+			}
+		}
+		got := without.order(key)
+		for j := range got {
+			if got[j] != filtered[j] {
+				t.Fatalf("key %q: order without b = %v, want %v (full order minus b)", key, got, filtered)
+			}
+		}
+	}
+}
+
+func TestHealthThresholds(t *testing.T) {
+	h := newHealthView([]string{"p:1"}, 3, 2)
+	if !h.up("p:1") {
+		t.Fatal("peer should start up (optimistic)")
+	}
+	h.observe("p:1", false, "conn refused")
+	h.observe("p:1", false, "conn refused")
+	if !h.up("p:1") {
+		t.Fatal("2 consecutive failures must not mark down (threshold 3)")
+	}
+	h.observe("p:1", false, "conn refused")
+	if h.up("p:1") {
+		t.Fatal("3rd consecutive failure must mark down")
+	}
+	h.observe("p:1", true, "")
+	if h.up("p:1") {
+		t.Fatal("1 success must not revive (threshold 2)")
+	}
+	h.observe("p:1", true, "")
+	if !h.up("p:1") {
+		t.Fatal("2nd consecutive success must revive")
+	}
+	// An interleaved success resets the failure streak.
+	h.observe("p:1", false, "x")
+	h.observe("p:1", false, "x")
+	h.observe("p:1", true, "")
+	h.observe("p:1", false, "x")
+	h.observe("p:1", false, "x")
+	if !h.up("p:1") {
+		t.Fatal("failure streak must reset on success")
+	}
+	up, down := h.counts()
+	if up != 1 || down != 0 {
+		t.Fatalf("counts = (%d, %d), want (1, 0)", up, down)
+	}
+	// Unknown addresses (self) always count up.
+	if !h.up("self:1") {
+		t.Fatal("unknown address must count as up")
+	}
+}
+
+func TestPlacementSkipsDownPeers(t *testing.T) {
+	f, err := newFleet(FleetConfig{
+		Self:  "a:1",
+		Peers: []string{"b:1", "c:1"},
+		Dir:   t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a key owned by b, then take b down and check it reroutes.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("probe-%d", i)
+		if f.ring.order(key)[0] == "b:1" {
+			break
+		}
+	}
+	if got := f.owner(key); got != "b:1" {
+		t.Fatalf("owner(%q) = %s, want b:1", key, got)
+	}
+	for i := 0; i < DefaultFailThreshold; i++ {
+		f.health.observe("b:1", false, "down")
+	}
+	prefs := f.placement(key)
+	if prefs[0] == "b:1" {
+		t.Fatalf("placement still names down peer first: %v", prefs)
+	}
+	for _, n := range prefs {
+		if n == "b:1" {
+			t.Fatalf("placement includes down peer: %v", prefs)
+		}
+	}
+	// Everyone down: placement degrades to self.
+	for i := 0; i < DefaultFailThreshold; i++ {
+		f.health.observe("c:1", false, "down")
+	}
+	if prefs := f.placement(key); len(prefs) != 1 || prefs[0] != "a:1" {
+		t.Fatalf("placement under total partition = %v, want [a:1]", prefs)
+	}
+}

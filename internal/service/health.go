@@ -1,0 +1,177 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Peer health: each node probes every peer's /healthz on a fixed interval
+// and drives an up/down membership view through consecutive-failure /
+// consecutive-success thresholds (the kraken healthcheck shape). The view
+// is deliberately local — two partitioned nodes may disagree about a third
+// — and the adoption protocol is built to tolerate that: marking a peer
+// down only makes its jobs *candidates* for adoption, and the rename +
+// journal-lock arbitration in lease.go keeps a wrong guess safe.
+
+// Default fleet health parameters (overridable via FleetConfig).
+const (
+	// DefaultHealthInterval is the probe period per peer.
+	DefaultHealthInterval = 1 * time.Second
+	// DefaultFailThreshold is how many consecutive probe failures mark a
+	// peer down. Three misses ride out one dropped packet or a GC pause
+	// without flapping.
+	DefaultFailThreshold = 3
+	// DefaultOkThreshold is how many consecutive successes bring a down
+	// peer back. Two means a single lucky response does not re-route load
+	// to a still-sick node.
+	DefaultOkThreshold = 2
+	// DefaultLeaseTTL is how long a job claim is valid without renewal.
+	DefaultLeaseTTL = 15 * time.Second
+)
+
+// peerStatus is one peer's health snapshot (the /v1/peers wire form).
+type peerStatus struct {
+	Addr string `json:"addr"`
+	Up   bool   `json:"up"`
+	// ConsecutiveFailures/Successes are the current streak lengths.
+	ConsecutiveFailures  int `json:"consecutiveFailures"`
+	ConsecutiveSuccesses int `json:"consecutiveSuccesses"`
+	// Probes and Failures are lifetime counters.
+	Probes   int64 `json:"probes"`
+	Failures int64 `json:"failures"`
+	// LastError is the most recent probe failure (sticky until a success).
+	LastError string `json:"lastError,omitempty"`
+}
+
+// healthView is the threshold state machine over every peer. New peers
+// start up (optimistic): a booting fleet routes normally and demotes peers
+// only on observed failure, rather than refusing all placement until the
+// first probe round completes.
+type healthView struct {
+	mu    sync.Mutex
+	peers map[string]*peerStatus
+	failN int
+	okN   int
+}
+
+func newHealthView(peers []string, failN, okN int) *healthView {
+	h := &healthView{peers: map[string]*peerStatus{}, failN: failN, okN: okN}
+	for _, p := range peers {
+		h.peers[p] = &peerStatus{Addr: p, Up: true}
+	}
+	return h
+}
+
+// observe feeds one probe (or probe-equivalent: a forwarded request that
+// failed or returned garbage) into the state machine.
+func (h *healthView) observe(addr string, ok bool, errMsg string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peers[addr]
+	if p == nil {
+		return // not a member; nothing to track
+	}
+	p.Probes++
+	if ok {
+		p.ConsecutiveFailures = 0
+		p.ConsecutiveSuccesses++
+		p.LastError = ""
+		if !p.Up && p.ConsecutiveSuccesses >= h.okN {
+			p.Up = true
+		}
+		return
+	}
+	p.Failures++
+	p.ConsecutiveSuccesses = 0
+	p.ConsecutiveFailures++
+	p.LastError = errMsg
+	if p.Up && p.ConsecutiveFailures >= h.failN {
+		p.Up = false
+	}
+}
+
+// up reports the view's verdict on addr. Unknown addresses (including
+// self, which is never probed) count as up.
+func (h *healthView) up(addr string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := h.peers[addr]
+	return p == nil || p.Up
+}
+
+// snapshot returns every tracked peer, sorted by address.
+func (h *healthView) snapshot() []peerStatus {
+	h.mu.Lock()
+	out := make([]peerStatus, 0, len(h.peers))
+	for _, p := range h.peers {
+		out = append(out, *p)
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool { return out[i].Addr < out[k].Addr })
+	return out
+}
+
+// downPeers lists the peers currently marked down (the adoption scanner's
+// work list).
+func (h *healthView) downPeers() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []string
+	for _, p := range h.peers {
+		if !p.Up {
+			out = append(out, p.Addr)
+		}
+	}
+	return out
+}
+
+// counts returns (up, down) for /varz.
+func (h *healthView) counts() (up, down int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, p := range h.peers {
+		if p.Up {
+			up++
+		} else {
+			down++
+		}
+	}
+	return up, down
+}
+
+// probePeer performs one healthcheck: GET /healthz must answer 200 with a
+// decodable body whose status is "ok". A node that is booting (resuming
+// journaled jobs) or draining answers 503, so readiness gates placement
+// exactly as it gates load balancers.
+func probePeer(client *http.Client, addr string) (ok bool, errMsg string) {
+	resp, err := client.Get("http://" + addr + "/healthz")
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return false, err.Error()
+	}
+	if resp.StatusCode != http.StatusOK {
+		if hr, derr := decodePeerHealth(body); derr == nil && hr.Status != "" {
+			return false, fmt.Sprintf("status %d (%s)", resp.StatusCode, hr.Status)
+		}
+		return false, fmt.Sprintf("status %d", resp.StatusCode)
+	}
+	hr, err := decodePeerHealth(body)
+	if err != nil {
+		// Malformed response from something listening on the peer's port:
+		// treated exactly like a failed probe — mark toward down, never
+		// crash (FuzzPeerDecode pins the decoder).
+		return false, fmt.Sprintf("bad healthz body: %v", err)
+	}
+	if hr.Status != "ok" {
+		return false, fmt.Sprintf("status %q", hr.Status)
+	}
+	return true, ""
+}

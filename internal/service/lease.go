@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Leases and adoption: partition tolerance without consensus.
+//
+// A fleet worker that picks a job up persists a *lease* — owner plus
+// expiry — before running, and renews it at TTL/3 while the engine works.
+// The adoption scanner on every node watches for peers the health view
+// marks down, walks their registered job directories, and takes over any
+// non-terminal job whose lease has expired, provided the ring (restricted
+// to live nodes) names this node first for the job's key.
+//
+// Two mechanisms make a wrong "down" verdict (a partition, not a crash)
+// safe rather than split-brained:
+//
+//  1. The adoption itself is os.Rename of the whole job directory from
+//     the dead node's state dir into the adopter's — atomic on one
+//     filesystem, so exactly one of several racing adopters wins (the
+//     losers get ENOENT) and a half-adopted job cannot exist.
+//  2. The journal's exclusive flock travels with the rename (it locks the
+//     inode, not the path). If the "dead" owner is actually alive and
+//     mid-append, the adopter's Resume fails with ErrLocked; the adopter
+//     requeues the job and retries after a lease interval, by which time
+//     the isolated owner has either finished the deterministic run (the
+//     journal then carries a terminal record and the adopter's rerun
+//     reproduces the byte-identical result) or released the lock.
+//
+// The worst case under partition is therefore duplicate *work*, never
+// divergent *results* — the PR 3/5 resume contract (byte-identical
+// Canonical() from any checkpoint, or from scratch under the same seed)
+// is what turns "at-least-once execution" into "exactly-one result".
+
+// leaseDeadline returns the expiry for a claim made now.
+func (f *fleet) leaseDeadline() int64 {
+	return time.Now().Add(f.cfg.LeaseTTL).UnixMilli()
+}
+
+// leaseExpired reports whether a persisted lease is past due. A zero
+// lease (job queued, never claimed) counts as expired: a queued job on a
+// down node is adoptable immediately.
+func leaseExpired(leaseUntilMs int64) bool {
+	return leaseUntilMs <= time.Now().UnixMilli()
+}
+
+// renewLease keeps a running job's claim fresh until stop closes or the
+// job leaves the running state.
+func (s *Server) renewLease(j *job, stop <-chan struct{}) {
+	t := time.NewTicker(s.fleet.cfg.LeaseTTL / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			if j.rec.State != StateRunning {
+				j.mu.Unlock()
+				return
+			}
+			j.rec.LeaseUntilMs = s.fleet.leaseDeadline()
+			j.mu.Unlock()
+			if err := s.store.persist(j); err == nil {
+				s.fleet.renewals.Add(1)
+			}
+		}
+	}
+}
+
+// adoptLoop periodically scans down peers for expired-lease jobs.
+func (s *Server) adoptLoop() {
+	defer s.fleet.wg.Done()
+	t := time.NewTicker(s.fleet.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.fleet.stop:
+			return
+		case <-t.C:
+			s.adoptScan()
+		}
+	}
+}
+
+// adoptScan walks every down peer's registered job directory and adopts
+// what this node is entitled to.
+func (s *Server) adoptScan() {
+	for _, down := range s.fleet.health.downPeers() {
+		stateDir, err := s.fleet.peerStateDir(down)
+		if err != nil {
+			continue // peer never registered (or fleet dir unreadable)
+		}
+		entries, err := os.ReadDir(filepath.Join(stateDir, "jobs"))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			data, err := os.ReadFile(filepath.Join(stateDir, "jobs", e.Name(), "job.json"))
+			if err != nil {
+				continue
+			}
+			var rec Job
+			if err := json.Unmarshal(data, &rec); err != nil ||
+				rec.ID != e.Name() || !rec.State.valid() || rec.State.Terminal() {
+				continue
+			}
+			if rec.Key == "" || !leaseExpired(rec.LeaseUntilMs) {
+				continue
+			}
+			// Only the first *live* node on the job's ring order adopts;
+			// everyone else leaves it for them (and will see it again next
+			// scan if they die too). Self is always live to itself.
+			if s.fleet.placement(rec.Key)[0] != s.fleet.cfg.Self {
+				continue
+			}
+			s.adoptJob(stateDir, rec.ID, down)
+		}
+	}
+}
+
+// adoptJob transfers one orphaned job from a down peer into this node:
+// rename (the atomic arbiter), reindex, record the orphaned → adopted →
+// queued transitions, and enqueue for resume.
+func (s *Server) adoptJob(srcStateDir, id, from string) {
+	if s.store.get(id) != nil {
+		// Already ours (e.g. adopted in a previous scan tick, or a key
+		// collision with a local job). Never overwrite local state.
+		return
+	}
+	src := filepath.Join(srcStateDir, "jobs", id)
+	dst := s.store.jobDir(id)
+	if err := os.Rename(src, dst); err != nil {
+		return // a racing adopter won, or the dir vanished — both fine
+	}
+	j, err := s.store.adoptIndex(id)
+	if err != nil {
+		return // record unreadable post-rename; leave it for inspection
+	}
+	j.mu.Lock()
+	prevOwner := j.rec.Owner
+	if prevOwner == "" {
+		prevOwner = from
+	}
+	j.rec.State = StateOrphaned
+	j.mu.Unlock()
+	j.events.append(Event{Type: "state", State: StateOrphaned, Error: "owner " + from + " down, lease expired"})
+	j.mu.Lock()
+	j.rec.State = StateAdopted
+	j.rec.Owner = s.fleet.cfg.Self
+	j.rec.AdoptedFrom = prevOwner
+	j.rec.Adoptions++
+	j.rec.LeaseUntilMs = 0
+	j.mu.Unlock()
+	j.events.append(Event{Type: "state", State: StateAdopted})
+	j.mu.Lock()
+	j.rec.State = StateQueued
+	j.mu.Unlock()
+	s.persistAndEvent(j, Event{Type: "state", State: StateQueued})
+	s.fleet.adopted.Add(1)
+	// Adopted jobs bypass admission control like boot-recovered ones:
+	// they were admitted once, somewhere.
+	s.queue.push(j)
+}

@@ -1,0 +1,350 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acr/internal/journal"
+)
+
+// FleetConfig wires a Server into a peer fleet (acr serve -peers).
+// Membership is static: every node is configured with the same peer list
+// and computes the same consistent-hash ring; liveness is layered on by
+// healthchecks. Dynamic membership (gossip) is a follow-up — see
+// DESIGN.md §12.
+type FleetConfig struct {
+	// Self is this node's advertised address, exactly as it appears in
+	// every node's Peers list.
+	Self string
+	// Peers is the fleet membership (advertised addresses). Self may be
+	// included or not; it is always a member.
+	Peers []string
+	// Dir is the shared fleet directory (same filesystem as every node's
+	// StateDir): each node registers a pointer to its state dir here, and
+	// adopters resolve dead peers' job directories through it.
+	Dir string
+	// LeaseTTL is how long a job claim holds without renewal
+	// (<=0 = DefaultLeaseTTL). Running jobs renew at TTL/3.
+	LeaseTTL time.Duration
+	// HealthInterval is the peer probe period (<=0 = DefaultHealthInterval).
+	HealthInterval time.Duration
+	// FailThreshold / OkThreshold are the consecutive-probe counts that
+	// drive the up/down view (<=0 = defaults 3 and 2).
+	FailThreshold int
+	OkThreshold   int
+}
+
+// ErrFleetSetup classifies fleet construction/registration failures so
+// the CLI can exit with a distinct code (misconfiguration, not a state or
+// bind problem).
+var ErrFleetSetup = errors.New("service: fleet setup")
+
+// forwardHeader marks a request already routed once by a fleet node.
+// A receiving node admits such a request locally, whatever its own view of
+// the ring says — one hop maximum, no forwarding loops during membership
+// disagreement.
+const forwardHeader = "X-Acr-Forwarded"
+
+// fleet is the runtime half of FleetConfig: the ring, the health view,
+// the HTTP clients, and the fleet counters.
+type fleet struct {
+	cfg     FleetConfig
+	members []string // every node incl. self, sorted
+	ring    *ring
+	health  *healthView
+
+	client *http.Client // forwards and fan-outs
+	probe  *http.Client // healthchecks (tighter timeout)
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	forwarded atomic.Int64 // requests routed to an owner peer
+	adopted   atomic.Int64 // lease-expired jobs taken from down peers
+	renewals  atomic.Int64 // lease renewals while running
+}
+
+func newFleet(cfg FleetConfig) (*fleet, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("service: FleetConfig.Self is required")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("service: FleetConfig.Dir is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = DefaultFailThreshold
+	}
+	if cfg.OkThreshold <= 0 {
+		cfg.OkThreshold = DefaultOkThreshold
+	}
+	seen := map[string]bool{cfg.Self: true}
+	members := []string{cfg.Self}
+	var others []string
+	for _, p := range cfg.Peers {
+		p = strings.TrimSpace(p)
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		members = append(members, p)
+		others = append(others, p)
+	}
+	probeTimeout := cfg.HealthInterval
+	if probeTimeout > 2*time.Second {
+		probeTimeout = 2 * time.Second
+	}
+	return &fleet{
+		cfg:     cfg,
+		members: members,
+		ring:    newRing(members),
+		health:  newHealthView(others, cfg.FailThreshold, cfg.OkThreshold),
+		client:  &http.Client{Timeout: 10 * time.Second},
+		probe:   &http.Client{Timeout: probeTimeout},
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// nodeID sanitizes an advertised address into a directory name under the
+// fleet dir.
+func nodeID(addr string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '.', r == '-':
+			return r
+		}
+		return '_'
+	}, addr)
+}
+
+// register publishes this node's state dir into the shared fleet dir, so
+// peers can reach its job directories if it dies.
+func (f *fleet) register(stateDir string) error {
+	abs, err := filepath.Abs(stateDir)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Join(f.cfg.Dir, "nodes", nodeID(f.cfg.Self))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(filepath.Join(dir, "statedir"), []byte(abs), 0o644)
+}
+
+// peerStateDir resolves a peer's registered state dir.
+func (f *fleet) peerStateDir(addr string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(f.cfg.Dir, "nodes", nodeID(addr), "statedir"))
+	if err != nil {
+		return "", err
+	}
+	dir := strings.TrimSpace(string(data))
+	if dir == "" {
+		return "", fmt.Errorf("service: empty state-dir registration for %s", addr)
+	}
+	return dir, nil
+}
+
+// upPeers lists the other members currently considered up.
+func (f *fleet) upPeers() []string {
+	var out []string
+	for _, m := range f.members {
+		if m != f.cfg.Self && f.health.up(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// placement returns the key's preference order over live nodes (self
+// always counts as live). Empty only for an empty ring, which cannot
+// happen — self is always a member.
+func (f *fleet) placement(key string) []string {
+	var out []string
+	for _, n := range f.ring.order(key) {
+		if n == f.cfg.Self || f.health.up(n) {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{f.cfg.Self}
+	}
+	return out
+}
+
+// owner is the first live node in the key's preference order.
+func (f *fleet) owner(key string) string { return f.placement(key)[0] }
+
+// healthLoop probes every peer each interval until stop.
+func (f *fleet) healthLoop() {
+	defer f.wg.Done()
+	t := time.NewTicker(f.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+			for _, m := range f.members {
+				if m == f.cfg.Self {
+					continue
+				}
+				ok, errMsg := probePeer(f.probe, m)
+				f.health.observe(m, ok, errMsg)
+			}
+		}
+	}
+}
+
+// shutdown stops the fleet loops.
+func (f *fleet) shutdown() {
+	close(f.stop)
+	f.wg.Wait()
+}
+
+// --- peer message decoding -------------------------------------------------
+//
+// Everything a node reads off a peer connection funnels through these
+// three decoders, and FuzzPeerDecode hammers them with arbitrary bytes:
+// a malformed or hostile peer response must come back as an error (which
+// the caller feeds to the health view as a failed probe), never as a
+// panic or an invalid record entering the local index.
+
+// peerHealth is the subset of /healthz a prober interprets.
+type peerHealth struct {
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// decodePeerHealth parses a peer /healthz body.
+func decodePeerHealth(data []byte) (peerHealth, error) {
+	var hr peerHealth
+	if err := json.Unmarshal(data, &hr); err != nil {
+		return peerHealth{}, err
+	}
+	if hr.Status == "" {
+		return peerHealth{}, errors.New("healthz body has no status")
+	}
+	return hr, nil
+}
+
+// decodePeerJob parses a peer's single-job response and sanity-checks the
+// fields the caller will trust (identity and state).
+func decodePeerJob(data []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	if j.ID == "" {
+		return nil, errors.New("peer job has no id")
+	}
+	if !j.State.valid() {
+		return nil, fmt.Errorf("peer job %s has unknown state %q", j.ID, j.State)
+	}
+	return &j, nil
+}
+
+// decodePeerJobList parses a peer's list response.
+func decodePeerJobList(data []byte) ([]Job, error) {
+	var body struct {
+		Jobs []Job `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		return nil, err
+	}
+	for i := range body.Jobs {
+		if body.Jobs[i].ID == "" || !body.Jobs[i].State.valid() {
+			return nil, fmt.Errorf("peer job list entry %d is malformed", i)
+		}
+	}
+	return body.Jobs, nil
+}
+
+// --- forwarding and fan-out ------------------------------------------------
+
+// peerGet fetches a local-scope resource from a peer; a decode failure is
+// observed as a peer-health failure.
+func (f *fleet) peerGet(addr, path string) ([]byte, int, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set(forwardHeader, f.cfg.Self)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.health.observe(addr, false, err.Error())
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		f.health.observe(addr, false, err.Error())
+		return nil, 0, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// forwardSubmit routes a submission to the owner (or the next live node in
+// preference order), passing the peer's response through verbatim. ok is
+// false when no peer could take it — the caller falls back to local
+// admission, which keeps the fleet accepting work under full partition.
+func (f *fleet) forwardSubmit(w http.ResponseWriter, req JobRequest, prefs []string) (ok bool) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return false
+	}
+	for _, node := range prefs {
+		if node == f.cfg.Self {
+			// Reaching self in the walk means every preferred peer ahead
+			// of us is down; admit locally.
+			return false
+		}
+		hreq, err := http.NewRequest(http.MethodPost, "http://"+node+"/v1/repairs", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hreq.Header.Set(forwardHeader, f.cfg.Self)
+		resp, err := f.client.Do(hreq)
+		if err != nil {
+			f.health.observe(node, false, err.Error())
+			continue
+		}
+		respBody, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode >= http.StatusInternalServerError ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			f.health.observe(node, false, fmt.Sprintf("forward: status %d", resp.StatusCode))
+			continue
+		}
+		// 2xx and client-side 4xx (bad request, queue full) are the
+		// owner's authoritative answer; relay them untouched.
+		f.forwarded.Add(1)
+		if loc := resp.Header.Get("Location"); loc != "" {
+			w.Header().Set("Location", loc)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Acr-Owner", node)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			w.Header().Set("Retry-After", ra)
+		}
+		w.WriteHeader(resp.StatusCode)
+		w.Write(respBody)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package service
+
+import (
+	"testing"
+)
+
+// FuzzPeerDecode hammers every decoder a node applies to bytes received
+// from a peer connection. The contract under fuzz: arbitrary input either
+// decodes into a record whose trusted fields are sane, or returns an error
+// (which the caller converts into a failed health probe) — never a panic,
+// and never a "valid" record with an empty identity or an unknown state.
+func FuzzPeerDecode(f *testing.F) {
+	f.Add([]byte(`{"status":"ok"}`))
+	f.Add([]byte(`{"status":"draining","reason":"shutting down"}`))
+	f.Add([]byte(`{"id":"f0123","state":"running","owner":"a:1"}`))
+	f.Add([]byte(`{"id":"j000001","state":"done","result":{"feasible":true}}`))
+	f.Add([]byte(`{"jobs":[{"id":"a","state":"queued"},{"id":"b","state":"adopted"}]}`))
+	f.Add([]byte(`{"jobs":[{"state":"queued"}]}`))
+	f.Add([]byte(`{"id":"x","state":"exploded"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if hr, err := decodePeerHealth(data); err == nil && hr.Status == "" {
+			t.Fatalf("decodePeerHealth accepted empty status: %q", data)
+		}
+		if j, err := decodePeerJob(data); err == nil {
+			if j.ID == "" || !j.State.valid() {
+				t.Fatalf("decodePeerJob accepted malformed job %+v from %q", j, data)
+			}
+		}
+		if jobs, err := decodePeerJobList(data); err == nil {
+			for _, j := range jobs {
+				if j.ID == "" || !j.State.valid() {
+					t.Fatalf("decodePeerJobList accepted malformed entry %+v from %q", j, data)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// ring is the fleet's consistent-hash placement policy: each node owns a
+// set of virtual points on a 64-bit circle, and a job key is placed on the
+// first point at or clockwise past its own hash. Virtual nodes smooth the
+// load split; consistency means a node joining or leaving moves only the
+// keys adjacent to its points, so a static fleet that loses one node
+// redistributes only that node's jobs (exactly the adoption path).
+//
+// The ring is immutable after construction — membership is static
+// (-peers), and liveness is layered on top by walking the preference order
+// and skipping nodes the health view says are down.
+type ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ringVnodes is the virtual-node count per member. 64 points per node
+// keeps the expected load imbalance of a small fleet under ~15% while the
+// whole ring for a dozen nodes still fits in one cache page.
+const ringVnodes = 64
+
+// newRing builds the ring over the deduplicated member list. Order of the
+// input does not matter: points are positioned by hash, so every node
+// computes the identical ring from the same membership, however its
+// -peers flag happened to be ordered.
+func newRing(members []string) *ring {
+	seen := map[string]bool{}
+	r := &ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		r.nodes = append(r.nodes, m)
+		for i := 0; i < ringVnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", m, i)), node: m})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.points, func(i, k int) bool {
+		if r.points[i].hash != r.points[k].hash {
+			return r.points[i].hash < r.points[k].hash
+		}
+		// Hash ties (astronomically rare) break by name so every node
+		// still sorts the identical ring.
+		return r.points[i].node < r.points[k].node
+	})
+	return r
+}
+
+// order returns the key's full preference walk: every member exactly once,
+// in the order their points are met clockwise from the key's hash. The
+// first entry is the key's owner; the rest are the failover sequence the
+// adoption scanner consults when owners are down.
+func (r *ring) order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.nodes))
+	seen := map[string]bool{}
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// ringHash positions a label on the circle: the first 8 bytes of its
+// SHA-256. A cryptographic hash is overkill for balance but keeps
+// placement independent of Go's per-process string hashing, so every node
+// (and every test) computes identical positions.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}

@@ -2,18 +2,23 @@ package service
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"acr/internal/caseio"
+	"acr/internal/core"
 	"acr/internal/journal"
 	"acr/internal/scenario"
 )
@@ -37,6 +42,10 @@ type Config struct {
 	// writer before the event mirror — the seam crash tests use to SIGKILL
 	// the daemon after N appends (chaos.KillSwitch) or to block appends.
 	JournalHook journal.AppendHook
+	// Fleet, when non-nil, joins this node to a peer fleet: jobs are
+	// placed on a consistent-hash ring, leased while running, and adopted
+	// from peers that go down (acr serve -peers).
+	Fleet *FleetConfig
 }
 
 // DefaultQueueCap is the admission-control bound when Config leaves
@@ -48,6 +57,7 @@ type Server struct {
 	cfg   Config
 	store *store
 	queue *queue
+	fleet *fleet // nil outside fleet mode
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -56,6 +66,16 @@ type Server struct {
 	mu       sync.Mutex
 	started  bool
 	draining bool
+
+	// ready gates /healthz (readiness): false while the node is still
+	// recovering journaled jobs on boot or once it starts draining, so
+	// peers and load balancers stop routing to a node that cannot admit.
+	ready atomic.Bool
+
+	// creating guards in-flight keyed submissions, closing the window
+	// between the dedup lookup and the store insert for duplicate keys.
+	subMu    sync.Mutex
+	creating map[string]chan struct{}
 
 	busyWorkers         atomic.Int64
 	candidatesValidated atomic.Int64
@@ -93,9 +113,22 @@ func New(cfg Config) (*Server, error) {
 		cfg:       cfg,
 		store:     st,
 		queue:     newQueue(cfg.QueueCap),
+		creating:  map[string]chan struct{}{},
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		startedAt: time.Now(),
+	}
+	if cfg.Fleet != nil {
+		f, err := newFleet(*cfg.Fleet)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("%w: %v", ErrFleetSetup, err)
+		}
+		if err := f.register(cfg.StateDir); err != nil {
+			cancel()
+			return nil, fmt.Errorf("%w: registration: %v", ErrFleetSetup, err)
+		}
+		s.fleet = f
 	}
 	return s, nil
 }
@@ -111,14 +144,30 @@ func (s *Server) Start() {
 	s.mu.Unlock()
 	// Recovered jobs bypass admission control: they were admitted once.
 	for _, j := range s.store.list() {
-		if j.state() == StateQueued {
-			s.queue.push(j)
+		if j.state() != StateQueued {
+			continue
 		}
+		if s.fleet != nil {
+			// Whatever node owned this job before, it is in our state dir
+			// now (our own crash, or a crash mid-adoption after the
+			// rename): claim it so peers see a live owner.
+			j.mu.Lock()
+			j.rec.Owner = s.fleet.cfg.Self
+			j.mu.Unlock()
+			s.store.persist(j)
+		}
+		s.queue.push(j)
 	}
 	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.workerLoop()
 	}
+	if s.fleet != nil {
+		s.fleet.wg.Add(2)
+		go s.fleet.healthLoop()
+		go s.adoptLoop()
+	}
+	s.ready.Store(true)
 }
 
 // Shutdown drains the daemon: admission stops, queued jobs stay queued on
@@ -133,7 +182,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.draining = true
 	s.mu.Unlock()
+	s.ready.Store(false)
 
+	if s.fleet != nil {
+		s.fleet.shutdown()
+	}
 	s.queue.close()
 	for _, j := range s.store.list() {
 		j.mu.Lock()
@@ -163,47 +216,118 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/repairs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/repairs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/repairs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/peers", s.handlePeers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /livez", s.handleLivez)
 	mux.HandleFunc("GET /varz", s.handleVarz)
 	return mux
 }
 
-// Submit validates, persists, and enqueues one job — the programmatic
-// core of POST /v1/repairs, also used by tests.
-func (s *Server) Submit(req JobRequest) (Job, error) {
+// submission is a validated, materialized job request: the decoded
+// scenario plus (in fleet mode) the placement key and the key-derived ID.
+type submission struct {
+	req JobRequest
+	sc  *scenario.Scenario
+	key string
+	id  string
+}
+
+// prepare validates a request and materializes its scenario. In fleet
+// mode it also computes the placement key — the digest of the case and
+// the search-steering options, i.e. the same identity the journal header
+// carries — and the job ID derived from it.
+func (s *Server) prepare(req JobRequest) (*submission, error) {
 	if (req.Builtin == "") == (req.Case == nil) {
-		return Job{}, &apiError{http.StatusBadRequest,
+		return nil, &apiError{http.StatusBadRequest,
 			"exactly one of builtin and case must be set"}
 	}
-	if _, err := req.Options(); err != nil {
-		return Job{}, &apiError{http.StatusBadRequest, err.Error()}
+	opts, err := req.Options()
+	if err != nil {
+		return nil, &apiError{http.StatusBadRequest, err.Error()}
 	}
 	var sc *scenario.Scenario
-	var err error
 	if req.Builtin != "" {
 		if sc, err = builtinScenario(req.Builtin); err != nil {
-			return Job{}, &apiError{http.StatusBadRequest, err.Error()}
+			return nil, &apiError{http.StatusBadRequest, err.Error()}
 		}
 	} else {
 		if sc, err = caseio.FromUpload(*req.Case); err != nil {
-			return Job{}, &apiError{http.StatusBadRequest, fmt.Sprintf("bad case: %v", err)}
+			return nil, &apiError{http.StatusBadRequest, fmt.Sprintf("bad case: %v", err)}
 		}
+	}
+	sub := &submission{req: req, sc: sc}
+	if s.fleet != nil {
+		hdr := core.SessionHeader(sc.Name, core.Problem{Topo: sc.Topo, Configs: sc.Configs, Intents: sc.Intents}, opts)
+		sum := sha256.Sum256([]byte(hdr.CaseDigest + "|" + hdr.OptionsDigest))
+		sub.key = hex.EncodeToString(sum[:])
+		sub.id = "f" + sub.key[:16]
+	}
+	return sub, nil
+}
+
+// Submit validates, persists, and enqueues one job — the programmatic
+// core of POST /v1/repairs, also used by tests. The bool reports whether
+// a job was created: false means an equivalent job already existed (fleet
+// dedup) and that one is returned.
+func (s *Server) Submit(req JobRequest) (Job, error) {
+	sub, err := s.prepare(req)
+	if err != nil {
+		return Job{}, err
+	}
+	job, _, err := s.admit(sub)
+	return job, err
+}
+
+// admit runs keyed dedup and admission control, then persists and
+// enqueues. In fleet mode two submissions with the same key are the same
+// repair: a live duplicate returns the existing job, and a terminal one
+// returns its cached result (duplicate incidents across a fleet cost one
+// engine run). created is false for deduplicated returns.
+func (s *Server) admit(sub *submission) (job Job, created bool, err error) {
+	for {
+		if sub.key != "" {
+			if existing := s.store.findKey(sub.key, false); existing != nil {
+				return existing.snapshot(), false, nil
+			}
+			// Claim the key against concurrent identical submissions; wait
+			// and re-check if someone else holds it.
+			s.subMu.Lock()
+			if ch := s.creating[sub.key]; ch != nil {
+				s.subMu.Unlock()
+				<-ch
+				continue
+			}
+			ch := make(chan struct{})
+			s.creating[sub.key] = ch
+			s.subMu.Unlock()
+			defer func() {
+				s.subMu.Lock()
+				delete(s.creating, sub.key)
+				s.subMu.Unlock()
+				close(ch)
+			}()
+		}
+		break
 	}
 	// Reserve the admission slot before the (slow, fallible) persistence
 	// work so concurrent submissions cannot overshoot the cap.
 	if err := s.queue.reserve(); err != nil {
 		if errors.Is(err, ErrQueueFull) {
-			return Job{}, &apiError{http.StatusTooManyRequests, err.Error()}
+			return Job{}, false, &apiError{http.StatusTooManyRequests, err.Error()}
 		}
-		return Job{}, &apiError{http.StatusServiceUnavailable, err.Error()}
+		return Job{}, false, &apiError{http.StatusServiceUnavailable, err.Error()}
 	}
-	j, err := s.store.create(req, sc)
+	owner := ""
+	if s.fleet != nil {
+		owner = s.fleet.cfg.Self
+	}
+	j, err := s.store.create(sub.req, sub.sc, sub.id, sub.key, owner)
 	if err != nil {
 		s.queue.unreserve()
-		return Job{}, &apiError{http.StatusInternalServerError, err.Error()}
+		return Job{}, false, &apiError{http.StatusInternalServerError, err.Error()}
 	}
 	s.queue.pushReserved(j)
-	return j.snapshot(), nil
+	return j.snapshot(), true, nil
 }
 
 // Cancel cancels a job: a queued job terminates immediately; a running
@@ -295,13 +419,44 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, &apiError{http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err)})
 		return
 	}
-	job, err := s.Submit(req)
+	sub, err := s.prepare(req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Fleet placement: route the job to its ring owner unless this request
+	// was already forwarded once (one hop maximum — a membership
+	// disagreement must not bounce a request around the ring) or the owner
+	// walk lands back on self. When every preferred peer is unreachable
+	// the job is admitted locally: a partitioned fleet degrades to
+	// single-node service, never to refusal.
+	if s.fleet != nil && r.Header.Get(forwardHeader) == "" {
+		if prefs := s.fleet.placement(sub.key); prefs[0] != s.fleet.cfg.Self {
+			if s.fleet.forwardSubmit(w, req, prefs) {
+				return
+			}
+		}
+	}
+	job, created, err := s.admit(sub)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/repairs/"+job.ID)
-	writeJSON(w, http.StatusAccepted, job)
+	status := http.StatusAccepted
+	if !created {
+		// Keyed duplicate: same repair, same record — report the existing
+		// job rather than admitting twice.
+		status = http.StatusOK
+	}
+	writeJSON(w, status, job)
+}
+
+// fanOut reports whether a read/cancel should consult peers: fleet mode,
+// and neither forwarded nor explicitly scoped to this node.
+func (s *Server) fanOut(r *http.Request) bool {
+	return s.fleet != nil && r.Header.Get(forwardHeader) == "" &&
+		r.URL.Query().Get("scope") != "local"
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -317,20 +472,82 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			jobs = append(jobs, rec)
 		}
 	}
+	if s.fanOut(r) {
+		// Merge every live peer's local view. Down peers are skipped — the
+		// jobs they owned surface again once a peer adopts them.
+		path := "/v1/repairs?scope=local"
+		if filter != "" {
+			path += "&state=" + string(filter)
+		}
+		for _, p := range s.fleet.upPeers() {
+			body, status, err := s.fleet.peerGet(p, path)
+			if err != nil || status != http.StatusOK {
+				continue
+			}
+			peerJobs, err := decodePeerJobList(body)
+			if err != nil {
+				s.fleet.health.observe(p, false, fmt.Sprintf("bad list body: %v", err))
+				continue
+			}
+			jobs = append(jobs, peerJobs...)
+		}
+		sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	j := s.store.get(r.PathValue("id"))
-	if j == nil {
-		writeErr(w, &apiError{http.StatusNotFound, "no such job"})
+	id := r.PathValue("id")
+	if j := s.store.get(id); j != nil {
+		writeJSON(w, http.StatusOK, j.snapshot())
 		return
 	}
-	writeJSON(w, http.StatusOK, j.snapshot())
+	if s.fanOut(r) {
+		for _, p := range s.fleet.upPeers() {
+			body, status, err := s.fleet.peerGet(p, "/v1/repairs/"+id+"?scope=local")
+			if err != nil || status != http.StatusOK {
+				continue
+			}
+			job, err := decodePeerJob(body)
+			if err != nil {
+				s.fleet.health.observe(p, false, fmt.Sprintf("bad job body: %v", err))
+				continue
+			}
+			writeJSON(w, http.StatusOK, job)
+			return
+		}
+	}
+	writeErr(w, &apiError{http.StatusNotFound, "no such job"})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, err := s.Cancel(r.PathValue("id"))
+	id := r.PathValue("id")
+	if s.store.get(id) == nil && s.fanOut(r) {
+		// Not ours: relay the cancel to whichever live peer holds it.
+		for _, p := range s.fleet.upPeers() {
+			hreq, err := http.NewRequest(http.MethodDelete, "http://"+p+"/v1/repairs/"+id+"?scope=local", nil)
+			if err != nil {
+				break
+			}
+			hreq.Header.Set(forwardHeader, s.fleet.cfg.Self)
+			resp, err := s.fleet.client.Do(hreq)
+			if err != nil {
+				s.fleet.health.observe(p, false, err.Error())
+				continue
+			}
+			body, rerr := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+			resp.Body.Close()
+			if rerr != nil || resp.StatusCode == http.StatusNotFound {
+				continue
+			}
+			s.fleet.forwarded.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(resp.StatusCode)
+			w.Write(body)
+			return
+		}
+	}
+	job, err := s.Cancel(id)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -388,7 +605,25 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleHealthz is the *readiness* probe: it answers 503 with a reason
+// while the node cannot usefully take traffic — still recovering journaled
+// jobs on boot, or draining for shutdown. Peer healthchecks and load
+// balancers key off this. Liveness is /livez.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		s.mu.Lock()
+		draining := s.draining
+		s.mu.Unlock()
+		status, reason := "booting", "recovering journaled jobs"
+		if draining {
+			status, reason = "draining", "shutting down; queued jobs persist for the next boot"
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": status,
+			"reason": reason,
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
 		"uptimeSeconds":  time.Since(s.startedAt).Seconds(),
@@ -396,6 +631,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"jobParallelism": s.cfg.JobParallelism,
 		"busyWorkers":    s.busyWorkers.Load(),
 		"queueDepth":     s.queue.depth(),
+	})
+}
+
+// handleLivez is the *liveness* probe: if the process can answer HTTP at
+// all it is alive, including while booting or draining. Supervisors
+// restart on /livez failure; routers drop on /healthz failure.
+func (s *Server) handleLivez(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+}
+
+// handlePeers reports fleet membership as this node sees it: the static
+// member list, each peer's health-probe state, and the fleet counters.
+func (s *Server) handlePeers(w http.ResponseWriter, _ *http.Request) {
+	if s.fleet == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"fleet": false,
+			"self":  "",
+			"peers": []peerStatus{},
+		})
+		return
+	}
+	up, down := s.fleet.health.counts()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fleet":             true,
+		"self":              s.fleet.cfg.Self,
+		"members":           s.fleet.members,
+		"peers":             s.fleet.health.snapshot(),
+		"peersUp":           up,
+		"peersDown":         down,
+		"requestsForwarded": s.fleet.forwarded.Load(),
+		"leasesAdopted":     s.fleet.adopted.Load(),
+		"leaseRenewals":     s.fleet.renewals.Load(),
 	})
 }
 
@@ -408,7 +675,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 		byState[j.state()]++
 	}
 	m := new(expvar.Map).Init()
-	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled} {
+	for _, st := range allStates {
 		v := new(expvar.Int)
 		v.Set(int64(byState[st]))
 		m.Set("jobs_"+string(st), v)
@@ -423,6 +690,14 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	set("workers_busy", s.busyWorkers.Load())
 	set("candidates_validated", s.candidatesValidated.Load())
 	set("panics_quarantined", s.panicsQuarantined.Load())
+	if s.fleet != nil {
+		up, down := s.fleet.health.counts()
+		set("peers_up", int64(up))
+		set("peers_down", int64(down))
+		set("requests_forwarded", s.fleet.forwarded.Load())
+		set("leases_adopted", s.fleet.adopted.Load())
+		set("lease_renewals", s.fleet.renewals.Load())
+	}
 	w.Header().Set("Content-Type", "application/json")
 	// expvar.Map renders itself as a JSON object.
 	fmt.Fprintln(w, m.String())

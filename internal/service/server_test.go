@@ -429,6 +429,10 @@ func TestShutdownDrainRequeuesAndResumes(t *testing.T) {
 		defer cancel()
 		done <- srv1.Shutdown(ctx)
 	}()
+	// Let the drain reach its job-cancel step before unparking the engine;
+	// released too early, the tiny unsatisfiable search can finish before
+	// the cancel lands and the job goes terminal instead of requeueing.
+	time.Sleep(250 * time.Millisecond)
 	close(release) // the blocked engine wakes, sees the drain, checkpoints
 	if err := <-done; err != nil {
 		t.Fatalf("Shutdown: %v", err)

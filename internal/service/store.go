@@ -65,14 +65,15 @@ type store struct {
 
 	mu      sync.Mutex
 	jobs    map[string]*job
-	order   []*job // submission order (seq asc)
+	byKey   map[string]*job // newest job per placement key (fleet dedup)
+	order   []*job          // submission order (seq asc)
 	nextSeq int
 }
 
 // openStore loads (or initializes) a state directory. Jobs found queued or
 // running are normalized to queued; the caller enqueues them.
 func openStore(root string) (*store, error) {
-	s := &store{root: root, jobs: map[string]*job{}, nextSeq: 1}
+	s := &store{root: root, jobs: map[string]*job{}, byKey: map[string]*job{}, nextSeq: 1}
 	jobsDir := filepath.Join(root, "jobs")
 	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
 		return nil, err
@@ -96,9 +97,11 @@ func openStore(root string) (*store, error) {
 		if err := json.Unmarshal(data, &rec); err != nil || rec.ID != e.Name() || !rec.State.valid() {
 			continue
 		}
-		if rec.State == StateRunning {
-			// The previous process died mid-run; the journal under the job
-			// dir carries the checkpointed search. Requeue for resume.
+		if !rec.State.Terminal() && rec.State != StateQueued {
+			// The previous process died (or was mid-claim/mid-adoption) —
+			// running, leased, orphaned, and adopted all mean the same
+			// thing on boot: the journal under the job dir carries the
+			// checkpointed search. Requeue for resume.
 			rec.State = StateQueued
 		}
 		j := &job{id: rec.ID, seq: rec.Seq, priority: rec.Priority, events: newEventLog(), rec: rec}
@@ -107,6 +110,7 @@ func openStore(root string) (*store, error) {
 			j.events.close()
 		}
 		s.jobs[j.id] = j
+		s.indexKeyLocked(j)
 		s.order = append(s.order, j)
 		if rec.Seq >= s.nextSeq {
 			s.nextSeq = rec.Seq + 1
@@ -116,17 +120,54 @@ func openStore(root string) (*store, error) {
 	return s, nil
 }
 
+// indexKeyLocked records j as the newest job for its placement key.
+// Caller holds s.mu (or has exclusive access during openStore).
+func (s *store) indexKeyLocked(j *job) {
+	key := j.rec.Key
+	if key == "" {
+		return
+	}
+	if prev := s.byKey[key]; prev == nil || j.seq >= prev.seq {
+		s.byKey[key] = j
+	}
+}
+
+// findKey returns the newest job for a placement key. With liveOnly set,
+// terminal jobs don't count (the single-node dedup semantic: resubmitting
+// a finished repair reruns it); otherwise a terminal job is returned too
+// (the fleet semantic: same key = same repair = same cached result).
+func (s *store) findKey(key string, liveOnly bool) *job {
+	if key == "" {
+		return nil
+	}
+	s.mu.Lock()
+	j := s.byKey[key]
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	if liveOnly && j.state().Terminal() {
+		return nil
+	}
+	return j
+}
+
 // create allocates, persists, and indexes a new queued job. For uploaded
 // cases the decoded scenario is saved under the job's case/ dir so a
-// rebooted daemon can re-materialize it.
-func (s *store) create(req JobRequest, sc *scenario.Scenario) (*job, error) {
+// rebooted daemon can re-materialize it. In fleet mode id is the
+// key-derived job ID and key/owner carry placement identity; single-node
+// callers pass "" for all three and get a sequential ID.
+func (s *store) create(req JobRequest, sc *scenario.Scenario, id, key, owner string) (*job, error) {
 	s.mu.Lock()
 	seq := s.nextSeq
 	s.nextSeq++
 	s.mu.Unlock()
 
+	if id == "" {
+		id = fmt.Sprintf("j%06d", seq)
+	}
 	rec := Job{
-		ID:             fmt.Sprintf("j%06d", seq),
+		ID:             id,
 		Seq:            seq,
 		State:          StateQueued,
 		Priority:       req.Priority,
@@ -137,6 +178,8 @@ func (s *store) create(req JobRequest, sc *scenario.Scenario) (*job, error) {
 		MaxIterations:  req.MaxIterations,
 		TimeoutSeconds: req.TimeoutSeconds,
 		Parallelism:    req.Parallelism,
+		Key:            key,
+		Owner:          owner,
 	}
 	j := &job{id: rec.ID, seq: seq, priority: req.Priority, events: newEventLog(), rec: rec}
 	if err := os.MkdirAll(s.jobDir(j.id), 0o755); err != nil {
@@ -155,6 +198,38 @@ func (s *store) create(req JobRequest, sc *scenario.Scenario) (*job, error) {
 
 	s.mu.Lock()
 	s.jobs[j.id] = j
+	s.indexKeyLocked(j)
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// adoptIndex registers a job directory just renamed into this store (the
+// fleet adoption path): the record is reloaded from disk post-rename and
+// indexed under a fresh local seq so list order stays coherent.
+func (s *store) adoptIndex(id string) (*job, error) {
+	data, err := os.ReadFile(filepath.Join(s.jobDir(id), "job.json"))
+	if err != nil {
+		return nil, err
+	}
+	var rec Job
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	if rec.ID != id || !rec.State.valid() {
+		return nil, fmt.Errorf("service: adopted job %s has a malformed record", id)
+	}
+	s.mu.Lock()
+	if existing := s.jobs[id]; existing != nil {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("service: job %s already indexed", id)
+	}
+	seq := s.nextSeq
+	s.nextSeq++
+	rec.Seq = seq
+	j := &job{id: id, seq: seq, priority: rec.Priority, events: newEventLog(), rec: rec}
+	s.jobs[id] = j
+	s.indexKeyLocked(j)
 	s.order = append(s.order, j)
 	s.mu.Unlock()
 	return j, nil
