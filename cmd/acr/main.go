@@ -239,6 +239,8 @@ func runRepair(args []string) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the repair (0 = unlimited)")
 	parallel := fs.Int("p", 0, "candidate-validation workers (0 = GOMAXPROCS); any value yields the identical repair")
 	noCache := fs.Bool("no-cache", false, "disable the content-addressed evaluation cache")
+	noImpact := fs.Bool("no-impact", false, "disable static impact analysis (ablation: every candidate is fully scoped by the legacy dependency heuristic)")
+	impactDiff := fs.Bool("impact-differential", false, "replay every pruned validation against a full simulation and fail the run on any divergence (soundness audit)")
 	journalDir := fs.String("journal", "", "write a crash-safe session journal to this directory")
 	resume := fs.Bool("resume", false, "resume the crashed session journaled in -journal")
 	crashAfter := fs.Int("crash-after-appends", 0, "testing hook: SIGKILL this process after N journal appends")
@@ -252,7 +254,8 @@ func runRepair(args []string) error {
 		return err
 	}
 	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter, MaxWallClock: *timeout,
-		Parallelism: *parallel, NoCache: *noCache}
+		Parallelism: *parallel, NoCache: *noCache,
+		NoImpact: *noImpact, ImpactDifferential: *impactDiff}
 	switch *strategy {
 	case "evolutionary":
 		opts.Strategy = core.Evolutionary

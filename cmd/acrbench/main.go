@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|all
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|staticprune|all
 //	         [-size 48] [-seed 1] [-short] [-json BENCH_parallel.json]
+//	         [-json-staticprune BENCH_staticprune.json]
 package main
 
 import (
@@ -28,11 +29,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, staticprune, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	flag.BoolVar(&flagShort, "short", false, "smaller workloads (CI smoke runs)")
 	flag.StringVar(&flagJSON, "json", "BENCH_parallel.json", "machine-readable output path for -exp parallel (empty = don't write)")
+	flag.StringVar(&flagJSONStatic, "json-staticprune", "BENCH_staticprune.json", "machine-readable output path for -exp staticprune (empty = don't write)")
 	flag.Parse()
 	run := func(name string, f func(int, int64)) {
 		if *exp == name || *exp == "all" {
@@ -57,6 +59,7 @@ func main() {
 		{"resume", resumeExp},
 		{"serve", serveExp},
 		{"parallel", parallelExp},
+		{"staticprune", staticPrune},
 	} {
 		if *exp == e.name || *exp == "all" {
 			ran = true

@@ -28,6 +28,8 @@ type parallelRow struct {
 	WallSeconds      float64 `json:"wallSeconds"`
 	Validated        int     `json:"candidatesValidated"`
 	PrefixSims       int     `json:"prefixSimulations"`
+	SimsPerCandidate float64 `json:"simsPerCandidate"`
+	Refuted          int     `json:"staticallyRefuted"`
 	CacheHits        int     `json:"cacheHits"`
 	CacheMisses      int     `json:"cacheMisses"`
 	SpeedupVsSerial  float64 `json:"speedupVsSerial"`
@@ -118,8 +120,8 @@ func parallelExp(size int, seed int64) {
 	}
 	fmt.Printf("host: NumCPU=%d GOMAXPROCS=%d %s  (speedup from workers is bounded by cores; the cache is not)\n\n",
 		rep.NumCPU, rep.GOMAXPROCS, rep.GoVersion)
-	fmt.Printf("%-8s %-6s %10s %10s %10s %8s %8s %9s\n",
-		"workers", "cache", "wall", "validated", "prefixSim", "hits", "misses", "speedup")
+	fmt.Printf("%-8s %-6s %10s %10s %10s %9s %8s %8s %8s %9s\n",
+		"workers", "cache", "wall", "validated", "prefixSim", "sims/cand", "refuted", "hits", "misses", "speedup")
 
 	serialWall := map[bool]float64{}
 	shaByCache := map[bool]map[string]bool{true: {}, false: {}}
@@ -137,6 +139,7 @@ func parallelExp(size int, seed int64) {
 				row.WallSeconds += time.Since(start).Seconds()
 				row.Validated += res.CandidatesValidated
 				row.PrefixSims += res.PrefixSimulations
+				row.Refuted += res.StaticallyRefuted
 				row.CacheHits += res.CacheHits
 				row.CacheMisses += res.CacheMisses
 				fmt.Fprintf(h, "case %s\n%s", c.name, res.Canonical())
@@ -145,6 +148,9 @@ func parallelExp(size int, seed int64) {
 					wideningResolved = res.CacheHits + res.CacheMisses
 				}
 			}
+			if row.Validated > 0 {
+				row.SimsPerCandidate = float64(row.PrefixSims) / float64(row.Validated)
+			}
 			row.CanonicalsSHA256 = hex.EncodeToString(h.Sum(nil))
 			shaByCache[cache][row.CanonicalsSHA256] = true
 			if workers == 1 {
@@ -152,9 +158,9 @@ func parallelExp(size int, seed int64) {
 			}
 			row.SpeedupVsSerial = serialWall[cache] / row.WallSeconds
 			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("%-8d %-6v %9.2fs %10d %10d %8d %8d %8.2fx\n",
+			fmt.Printf("%-8d %-6v %9.2fs %10d %10d %9.2f %8d %8d %8d %8.2fx\n",
 				workers, cache, row.WallSeconds, row.Validated, row.PrefixSims,
-				row.CacheHits, row.CacheMisses, row.SpeedupVsSerial)
+				row.SimsPerCandidate, row.Refuted, row.CacheHits, row.CacheMisses, row.SpeedupVsSerial)
 		}
 	}
 

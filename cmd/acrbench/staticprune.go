@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"acr"
+)
+
+// flagJSONStatic names the machine-readable output of -exp staticprune.
+var flagJSONStatic string
+
+// pruneClassRow aggregates the impact-analysis ablation over one error
+// class of the corpus.
+type pruneClassRow struct {
+	Class         string  `json:"class"`
+	Incidents     int     `json:"incidents"`
+	SimsImpact    int     `json:"prefixSimsImpact"`
+	SimsNoImpact  int     `json:"prefixSimsNoImpact"`
+	Reduction     float64 `json:"reduction"`
+	Refuted       int     `json:"staticallyRefuted"`
+	Scoped        int     `json:"impactScoped"`
+	Broad         int     `json:"impactBroad"`
+	LeafDerived   int     `json:"leafDerivations"`
+	SimsPerCand   float64 `json:"simsPerCandidateImpact"`
+	SimsPerCandNo float64 `json:"simsPerCandidateNoImpact"`
+}
+
+// pruneReport is the BENCH_staticprune.json schema: the per-class ablation
+// sweep plus the headline reduction and the byte-identity verdict, kept as
+// a baseline for future impact-analysis changes.
+type pruneReport struct {
+	GeneratedAt   string          `json:"generatedAt"`
+	GoVersion     string          `json:"goVersion"`
+	Size          int             `json:"size"`
+	Seed          int64           `json:"seed"`
+	Short         bool            `json:"short"`
+	Classes       []pruneClassRow `json:"classes"`
+	Total         pruneClassRow   `json:"total"`
+	ByteIdentical bool            `json:"byteIdentical"`
+}
+
+// staticPrune regenerates the impact-analysis ablation: every corpus
+// incident repaired twice — once with the static impact analysis (the
+// default) and once with -no-impact (every candidate fully re-simulated) —
+// asserting byte-identical Canonical() output while counting the prefix
+// simulations each mode spent. The headline is the reduction ratio the
+// acceptance bar pins at >= 3x on the Figure-2 corpus; the per-class rows
+// show where the pruning bites (disjoint-impact candidates refuted outright
+// vs. slices narrowed to a few prefixes). A Canonical() mismatch is a
+// soundness bug, not a perf regression, so it fails the run.
+func staticPrune(size int, seed int64) {
+	if flagShort {
+		size = min(size, 12)
+	}
+	incs := corpus(size, seed)
+	rows := map[string]*pruneClassRow{}
+	var total pruneClassRow
+	total.Class = "total"
+	byteIdentical := true
+	var candImpact, candNoImpact int
+	for _, inc := range incs {
+		c := acr.IncidentCase(inc)
+		with := acr.Repair(c, acr.RepairOptions{Seed: seed})
+		without := acr.Repair(c, acr.RepairOptions{Seed: seed, NoImpact: true})
+		if with.Canonical() != without.Canonical() {
+			byteIdentical = false
+			fmt.Printf("UNSOUND: %s Canonical() differs between impact and -no-impact runs\n", inc.ID)
+		}
+		cls := inc.Class.String()
+		row := rows[cls]
+		if row == nil {
+			row = &pruneClassRow{Class: cls}
+			rows[cls] = row
+		}
+		for _, r := range []*pruneClassRow{row, &total} {
+			r.Incidents++
+			r.SimsImpact += with.PrefixSimulations
+			r.SimsNoImpact += without.PrefixSimulations
+			r.Refuted += with.StaticallyRefuted
+			r.Scoped += with.ImpactScoped
+			r.Broad += with.ImpactBroad
+			r.LeafDerived += with.LeafDerivations
+		}
+		candImpact += with.CandidatesValidated
+		candNoImpact += without.CandidatesValidated
+	}
+	finish := func(r *pruneClassRow) {
+		if r.SimsImpact > 0 {
+			r.Reduction = float64(r.SimsNoImpact) / float64(r.SimsImpact)
+		}
+	}
+	finish(&total)
+	if candImpact > 0 {
+		total.SimsPerCand = float64(total.SimsImpact) / float64(candImpact)
+	}
+	if candNoImpact > 0 {
+		total.SimsPerCandNo = float64(total.SimsNoImpact) / float64(candNoImpact)
+	}
+
+	rep := pruneReport{
+		GeneratedAt:   time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		Size:          len(incs),
+		Seed:          seed,
+		Short:         flagShort,
+		Total:         total,
+		ByteIdentical: byteIdentical,
+	}
+	classes := make([]string, 0, len(rows))
+	for cls := range rows { //acrvet:ordered — sorted below
+		classes = append(classes, cls)
+	}
+	sort.Strings(classes)
+	fmt.Printf("%-26s %5s %10s %12s %9s %8s %7s %6s %8s\n",
+		"class", "n", "simsImpact", "simsNoImpact", "reduction", "refuted", "scoped", "broad", "derived")
+	for _, cls := range classes {
+		r := rows[cls]
+		finish(r)
+		rep.Classes = append(rep.Classes, *r)
+		fmt.Printf("%-26s %5d %10d %12d %8.2fx %8d %7d %6d %8d\n",
+			r.Class, r.Incidents, r.SimsImpact, r.SimsNoImpact, r.Reduction,
+			r.Refuted, r.Scoped, r.Broad, r.LeafDerived)
+	}
+	fmt.Printf("%-26s %5d %10d %12d %8.2fx %8d %7d %6d %8d\n",
+		total.Class, total.Incidents, total.SimsImpact, total.SimsNoImpact, total.Reduction,
+		total.Refuted, total.Scoped, total.Broad, total.LeafDerived)
+	fmt.Printf("\nsims/candidate: %.2f with impact analysis, %.2f without\n",
+		total.SimsPerCand, total.SimsPerCandNo)
+	fmt.Printf("byte-identity (-no-impact ablation Canonical()): ")
+	if byteIdentical {
+		fmt.Println("IDENTICAL")
+	} else {
+		fmt.Println("DIVERGED")
+	}
+
+	if flagJSONStatic != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(flagJSONStatic, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", flagJSONStatic)
+	}
+	if !byteIdentical {
+		os.Exit(1)
+	}
+}

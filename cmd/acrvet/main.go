@@ -1,0 +1,48 @@
+// Command acrvet runs the repository's determinism-invariant checks (see
+// internal/acrvet) over the merge-path packages. Exit status 1 means at
+// least one finding; 2 means the checker itself failed (parse or
+// type-check error).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"acr/internal/acrvet"
+)
+
+func main() {
+	root := flag.String("root", ".", "module root to vet")
+	pkgs := flag.String("pkgs", "", "comma-separated package dirs relative to the module root (default: the merge-path set)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	flag.Parse()
+
+	list := acrvet.DefaultPackages
+	if *pkgs != "" {
+		list = strings.Split(*pkgs, ",")
+	}
+	findings, err := acrvet.Run(*root, list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrvet:", err)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "acrvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("acrvet: %d finding(s) in %d package(s)\n", len(findings), len(list))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

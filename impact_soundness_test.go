@@ -1,0 +1,77 @@
+package acr_test
+
+import (
+	"testing"
+
+	acr "acr"
+)
+
+// TestImpactDifferentialCorpus is the impact analysis's soundness
+// regression net: every corpus incident is repaired with differential mode
+// on, so every pruned validation (statically refuted candidates included)
+// is replayed against a from-scratch full simulation and any disagreement
+// terminates the run with "impact-divergence". In -short mode a sample
+// runs; the full 120-incident sweep is the CI nightly job.
+func TestImpactDifferentialCorpus(t *testing.T) {
+	size := 120
+	if testing.Short() {
+		size = 12
+	}
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: size, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refuted, scoped, broad := 0, 0, 0
+	for _, inc := range incs {
+		r := acr.RunIncident(inc, acr.RepairOptions{ImpactDifferential: true})
+		if r.Termination == "impact-divergence" {
+			t.Errorf("%s: impact analysis diverged from full simulation", inc.ID)
+		}
+		refuted += r.StaticallyRefuted
+		scoped += r.ImpactScoped
+		broad += r.ImpactBroad
+	}
+	t.Logf("%d incidents: %d candidates statically refuted, %d impact-scoped, %d broad",
+		len(incs), refuted, scoped, broad)
+	if refuted+scoped == 0 {
+		t.Error("impact analysis never pruned anything across the corpus; the differential net is vacuous")
+	}
+}
+
+// TestImpactAblationByteIdentical pins the acceptance contract of the
+// static pruning: with and without impact analysis, the search must make
+// byte-identical decisions (same Canonical() output) while the impact run
+// does strictly less simulation work.
+func TestImpactAblationByteIdentical(t *testing.T) {
+	size := 24
+	if testing.Short() {
+		size = 8
+	}
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: size, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simsWith, simsWithout := 0, 0
+	for _, inc := range incs {
+		c := acr.IncidentCase(inc)
+		with := acr.Repair(c, acr.RepairOptions{})
+		without := acr.Repair(c, acr.RepairOptions{NoImpact: true})
+		if with.Canonical() != without.Canonical() {
+			t.Errorf("%s: Canonical() differs between impact and -no-impact runs:\n--- impact:\n%s\n--- no-impact:\n%s",
+				inc.ID, with.Canonical(), without.Canonical())
+		}
+		simsWith += with.PrefixSimulations
+		simsWithout += without.PrefixSimulations
+	}
+	ratio := float64(simsWithout) / float64(max(simsWith, 1))
+	t.Logf("prefix simulations: %d with impact analysis, %d without (%.2fx reduction)",
+		simsWith, simsWithout, ratio)
+	if simsWith >= simsWithout {
+		t.Errorf("impact analysis did not reduce simulation work: %d with vs %d without", simsWith, simsWithout)
+	}
+	// The acceptance bar: >= 3x fewer prefix simulations on the corpus.
+	// The -short sample is too small to pin a ratio; the full run is not.
+	if !testing.Short() && ratio < 3.0 {
+		t.Errorf("simulation reduction regressed below the 3x acceptance bar: %.2fx", ratio)
+	}
+}

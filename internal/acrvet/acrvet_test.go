@@ -1,0 +1,154 @@
+package acrvet
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module with one internal/core package.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module acr\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "core")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "merge.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func findingsByCheck(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for _, f := range fs {
+		out[f.Check]++
+	}
+	return out
+}
+
+func TestChecksFireOnViolations(t *testing.T) {
+	root := writeModule(t, `package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() (int64, int) {
+	ts := time.Now().UnixNano() // timenow: not in engine.go
+	n := rand.Intn(10)          // globalrand: process-global source
+	m := map[string]int{"a": 1}
+	total := ""
+	for k := range m { // maprange: no sort, no annotation
+		total += k
+	}
+	_ = total
+	return ts, n
+}
+`)
+	fs, err := Run(root, []string{"internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := findingsByCheck(fs)
+	for _, want := range []string{"timenow", "globalrand", "maprange"} {
+		if got[want] != 1 {
+			t.Errorf("%s fired %d times, want 1; findings: %v", want, got[want], fs)
+		}
+	}
+}
+
+func TestChecksAllowTheIdioms(t *testing.T) {
+	root := writeModule(t, `package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+func good(seed int64) []string {
+	rng := rand.New(rand.NewSource(seed)) // derived source: allowed
+	_ = rng.Intn(10)
+	m := map[string]int{"a": 1}
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort: allowed
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	counts := map[string]int{}
+	for k := range m { //acrvet:ordered
+		counts[k]++ // annotated order-independent accumulation: allowed
+	}
+	return keys
+}
+`)
+	fs, err := Run(root, []string{"internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("idiomatic code flagged: %v", fs)
+	}
+}
+
+func TestTimeNowAllowedInEngine(t *testing.T) {
+	root := writeModule(t, `package core
+
+import "time"
+
+func engineOnly() time.Time { return time.Now() }
+`)
+	// The file is merge.go, so the engine allowlist must NOT cover it...
+	fs, err := Run(root, []string{"internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findingsByCheck(fs)["timenow"] != 1 {
+		t.Fatalf("time.Now outside engine.go not flagged: %v", fs)
+	}
+	// ...but the same call in engine.go passes.
+	if err := os.Rename(
+		filepath.Join(root, "internal", "core", "merge.go"),
+		filepath.Join(root, "internal", "core", "engine.go")); err != nil {
+		t.Fatal(err)
+	}
+	fs, err = Run(root, []string{"internal/core"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("allowlisted engine.go flagged: %v", fs)
+	}
+}
+
+// TestRepositoryIsClean runs the full pack over this repository's own
+// merge-path packages — the same invocation CI uses. A finding here is a
+// real determinism hazard (or a loop that needs a conscious
+// //acrvet:ordered decision), not a test artifact.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Run(root, DefaultPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		var sb strings.Builder
+		for _, f := range fs {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+		t.Errorf("acrvet findings in the repository:\n%s", sb.String())
+	}
+}

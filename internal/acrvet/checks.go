@@ -1,0 +1,207 @@
+package acrvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// A check inspects one type-checked package and reports violations.
+type check func(*checker, *pkg) []Finding
+
+var checks = []check{checkTimeNow, checkGlobalRand, checkJournalAppend, checkMapRange}
+
+// timeNowAllowed lists the files permitted to read the wall clock, per
+// package: the engine's merge loop measures run duration (reported outside
+// Canonical()), and nothing else in the merge path may observe time — a
+// wall-clock read anywhere else is a reproducibility bug waiting for load.
+var timeNowAllowed = map[string]map[string]bool{
+	"internal/core": {"engine.go": true},
+}
+
+// checkTimeNow flags time.Now (and time.Since, which reads the clock) in
+// merge-path packages outside the per-package allowlist.
+func checkTimeNow(c *checker, p *pkg) []Finding {
+	rel := strings.TrimPrefix(p.path, c.modPath+"/")
+	allowed := timeNowAllowed[rel]
+	var out []Finding
+	inspectCalls(p, func(call *ast.CallExpr, pkgPath, sel string) {
+		if pkgPath != "time" || (sel != "Now" && sel != "Since") {
+			return
+		}
+		file := filepath.Base(c.fset.Position(call.Pos()).Filename)
+		if allowed[file] {
+			return
+		}
+		out = append(out, Finding{
+			Pos:     c.pos(call),
+			Check:   "timenow",
+			Message: fmt.Sprintf("time.%s in the deterministic merge path: results must be a pure function of (case, options); measure wall clock only in the allowlisted engine file", sel),
+		})
+	})
+	return out
+}
+
+// checkGlobalRand flags package-level math/rand draws (rand.Int, rand.Perm,
+// rand.Shuffle, ...). The engine's reproducibility contract requires every
+// random draw to come from a content-derived rand.New(rand.NewSource(...))
+// instance; the global source is seeded by the runtime and shared across
+// goroutines, so anything read from it diverges run to run.
+func checkGlobalRand(c *checker, p *pkg) []Finding {
+	var out []Finding
+	inspectCalls(p, func(call *ast.CallExpr, pkgPath, sel string) {
+		if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+			return
+		}
+		if sel == "New" || sel == "NewSource" || sel == "NewZipf" {
+			return
+		}
+		out = append(out, Finding{
+			Pos:     c.pos(call),
+			Check:   "globalrand",
+			Message: fmt.Sprintf("rand.%s draws from the process-global source: derive a local rand.New(rand.NewSource(seed)) from content instead", sel),
+		})
+	})
+	return out
+}
+
+// checkJournalAppend enforces the merge-serializer invariant: inside
+// internal/core, only session.go (the journal sink the merge loop owns) may
+// call the journal writer's Append* methods. A second appender would race
+// the single-writer journal and break crash-replay ordering.
+func checkJournalAppend(c *checker, p *pkg) []Finding {
+	rel := strings.TrimPrefix(p.path, c.modPath+"/")
+	if rel != "internal/core" {
+		return nil
+	}
+	var out []Finding
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			se, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !strings.HasPrefix(se.Sel.Name, "Append") {
+				return true
+			}
+			sel := p.info.Selections[se]
+			if sel == nil {
+				return true
+			}
+			recv := sel.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			named, ok := recv.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != c.modPath+"/internal/journal" {
+				return true
+			}
+			file := filepath.Base(c.fset.Position(call.Pos()).Filename)
+			if file == "session.go" {
+				return true
+			}
+			out = append(out, Finding{
+				Pos:     c.pos(call),
+				Check:   "journalappend",
+				Message: fmt.Sprintf("journal %s outside the merge serializer (session.go): the merge loop is the journal's only writer", se.Sel.Name),
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// checkMapRange flags `for ... range m` over a map unless the author either
+// (a) collects-then-sorts — a sort.* call appears later in the same
+// function, the standard deterministic-iteration idiom — or (b) asserts
+// order-independence with an //acrvet:ordered comment on the range line or
+// the line above it. Map iteration order is randomized per run, so an
+// unordered loop that feeds Canonical(), a digest, the journal, or lint
+// output breaks byte-identity in a way no test reliably catches.
+func checkMapRange(c *checker, p *pkg) []Finding {
+	var out []Finding
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var sortCalls []ast.Node
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if pkgPath, _ := calleePkg(p, call); pkgPath == "sort" || pkgPath == "slices" {
+						sortCalls = append(sortCalls, call)
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				pos := c.fset.Position(rs.Pos())
+				if m := p.ordered[pos.Filename]; m != nil && (m[pos.Line] || m[pos.Line-1]) {
+					return true
+				}
+				for _, sc := range sortCalls {
+					if sc.Pos() > rs.End() {
+						return true
+					}
+				}
+				out = append(out, Finding{
+					Pos:     c.pos(rs),
+					Check:   "maprange",
+					Message: "map iterated in random order with no sort afterwards: sort the keys, or mark the loop //acrvet:ordered if its effect is provably order-independent",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// inspectCalls visits every call whose callee is a package-level selector
+// (pkg.Func) and reports the callee's import path and name.
+func inspectCalls(p *pkg, fn func(call *ast.CallExpr, pkgPath, sel string)) {
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, sel := calleePkg(p, call); pkgPath != "" {
+				fn(call, pkgPath, sel)
+			}
+			return true
+		})
+	}
+}
+
+// calleePkg resolves call's callee to (import path, selector name) when the
+// callee is a package-qualified identifier, and ("", "") otherwise.
+func calleePkg(p *pkg, call *ast.CallExpr) (string, string) {
+	se, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := se.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := p.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), se.Sel.Name
+}

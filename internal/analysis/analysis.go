@@ -265,7 +265,7 @@ var registry = []*Analyzer{
 func Analyze(t *topo.Network, configs map[string]*netcfg.Config, analyzers []*Analyzer) *Result {
 	files := make(map[string]*netcfg.File, len(configs))
 	parseErrs := map[string]string{}
-	for d, c := range configs {
+	for d, c := range configs { //acrvet:ordered
 		f, err := netcfg.Parse(c)
 		if err != nil {
 			parseErrs[d] = err.Error()
@@ -309,7 +309,14 @@ func AnalyzeFiles(t *topo.Network, configs map[string]*netcfg.Config, files map[
 		if diags[i].Severity != diags[j].Severity {
 			return diags[i].Severity > diags[j].Severity
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		// Message is the final tiebreaker: without it, two same-line
+		// diagnostics from one analyzer keep their emission order, and any
+		// analyzer that walks a map emits in random order — `acr lint -json`
+		// output must be byte-stable run to run.
+		return diags[i].Message < diags[j].Message
 	})
 	res := &Result{Diagnostics: diags}
 	if len(perAnalyzer) > 0 {

@@ -103,7 +103,19 @@ var MissingPeerGroup = &Analyzer{
 		if p.Topo == nil {
 			return
 		}
-		for _, obs := range collectPeerObservations(p) {
+		byKinds := collectPeerObservations(p)
+		keys := make([]edgeKinds, 0, len(byKinds))
+		for k := range byKinds {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].local != keys[j].local {
+				return keys[i].local < keys[j].local
+			}
+			return keys[i].remote < keys[j].remote
+		})
+		for _, k := range keys {
+			obs := byKinds[k]
 			for _, o := range obs {
 				if o.grouped || o.peer.ASNLine <= 0 {
 					continue
@@ -184,8 +196,11 @@ var ExtraGroupItem = &Analyzer{
 			}
 			var domKind topo.Kind
 			dom := 0
-			for k, c := range counts {
-				if c > dom {
+			// Ties break toward the smaller Kind so the dominant kind — and
+			// therefore which members get flagged — never depends on map
+			// iteration order.
+			for k, c := range counts { //acrvet:ordered
+				if c > dom || (c == dom && k < domKind) {
 					domKind, dom = k, c
 				}
 			}

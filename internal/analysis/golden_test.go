@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acr/internal/analysis"
+	"acr/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestLintJSONGolden pins the exact JSON `acr lint -json` derives from the
+// Figure 2 case: the diagnostic ORDER is part of the contract (sorted by
+// line, severity, analyzer, message), so any analyzer that starts emitting
+// in map-iteration order shows up here as a diff instead of a flaky CI run.
+func TestLintJSONGolden(t *testing.T) {
+	s := scenario.Figure2()
+	res := analysis.Analyze(s.Topo, s.Configs, nil)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "lint_figure2.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/analysis -run LintJSONGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("lint JSON drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestLintJSONDeterministic hammers the full registry over a case whose
+// consensus analyzers walk maps (peer observations, group membership) and
+// asserts byte-identical output across runs.
+func TestLintJSONDeterministic(t *testing.T) {
+	s := scenario.WAN(6, 3, 2, scenario.GenOptions{})
+	var first []byte
+	for i := 0; i < 10; i++ {
+		res := analysis.Analyze(s.Topo, s.Configs, nil)
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+			continue
+		}
+		if !bytes.Equal(b, first) {
+			t.Fatalf("run %d produced different JSON:\n%s\nvs\n%s", i, b, first)
+		}
+	}
+}

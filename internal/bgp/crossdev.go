@@ -1,0 +1,57 @@
+package bgp
+
+import (
+	"acr/internal/netcfg"
+	"acr/internal/provenance"
+)
+
+// DeviceGraphOf builds the cross-device provenance layer for a compiled
+// network: one session edge per physical adjacency — annotated with the
+// session lines of both ends when a session is configured (established or
+// failed) — plus a redistribution self-edge per router whose statics flow
+// into BGP. Adjacencies without any configured session still yield an edge:
+// reachability queries must over-approximate, and a candidate edit can
+// create a session where none exists today.
+func DeviceGraphOf(n *Net) *provenance.DeviceGraph {
+	g := provenance.NewDeviceGraph(n.Order)
+	// Index failed sessions by (router, peer) so their negative-provenance
+	// lines annotate the adjacency edge.
+	failed := map[[2]string]*FailedSession{}
+	for _, fs := range n.Failed {
+		failed[[2]string{fs.Router, fs.PeerName}] = fs
+	}
+	seen := map[[2]string]bool{}
+	for _, name := range n.Order {
+		for _, adj := range n.Topo.Adjacencies(name) {
+			key := [2]string{name, adj.PeerNode}
+			rev := [2]string{adj.PeerNode, name}
+			if seen[key] || seen[rev] {
+				continue
+			}
+			seen[key] = true
+			e := provenance.DeviceEdge{From: name, To: adj.PeerNode, Kind: provenance.SessionEdge}
+			if s := n.SessionBetween(name, adj.PeerNode); s != nil {
+				e.Established = true
+				e.Lines = append(append([]netcfg.LineRef{}, s.LocalLines...), s.RemoteLines...)
+			} else {
+				for _, k := range [][2]string{key, rev} {
+					if fs := failed[k]; fs != nil {
+						e.Lines = append(e.Lines, fs.Lines...)
+					}
+				}
+			}
+			g.AddEdge(e)
+		}
+	}
+	for _, name := range n.Order {
+		f := n.Files[name]
+		if f == nil || f.BGP == nil || f.BGP.Redistribute == nil {
+			continue
+		}
+		g.AddEdge(provenance.DeviceEdge{
+			From: name, To: name, Kind: provenance.RedistributeEdge, Established: true,
+			Lines: []netcfg.LineRef{{Device: name, Line: f.BGP.Redistribute.Line}},
+		})
+	}
+	return g.Seal()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -82,6 +83,20 @@ type Options struct {
 	// count differently, so a journaled session must resume under the
 	// same setting.
 	NoCache bool
+	// NoImpact disables the static impact analysis in the incremental
+	// verifier (ablation): candidates are scoped by the original
+	// line/literal dependency heuristic and nothing is statically
+	// refuted. The search trajectory — fitness per candidate, hence the
+	// Canonical() result — is identical either way; only the work
+	// counters differ, so the setting is part of SearchDigest for the
+	// same reason NoCache is.
+	NoImpact bool
+	// ImpactDifferential replays every pruned validation against a
+	// from-scratch full check and fails the run with termination
+	// "impact-divergence" if any intent verdict differs — the soundness
+	// enforcement mode the corpus CI job runs under. Purely observational
+	// on a sound analysis, so it is excluded from SearchDigest.
+	ImpactDifferential bool
 
 	// --- robustness -----------------------------------------------------
 
@@ -229,6 +244,29 @@ type Result struct {
 	// identical results.
 	ParallelWorkers int
 
+	// --- static impact analysis -----------------------------------------
+	//
+	// Work counters of the candidate impact analysis (all 0 with
+	// Options.NoImpact or FullValidation). Like PrefixSimulations they
+	// measure effort, not trajectory, and are excluded from Canonical().
+
+	// StaticallyRefuted counts candidates whose impact set was disjoint
+	// from every intent's dependencies: answered with the parent's
+	// verdicts at zero prefix simulations.
+	StaticallyRefuted int
+	// ImpactScoped counts candidates validated against a proper impact
+	// slice (neither refuted nor broad).
+	ImpactScoped int
+	// ImpactBroad counts candidates where the impact analysis — or the
+	// compiled-network cross-check guarding it — degraded to a full
+	// re-simulation.
+	ImpactBroad int
+	// LeafDerivations counts prefixes whose candidate outcome was patched
+	// from the parent outcome via leaf re-derivation (bgp.RederiveLeaves)
+	// instead of a full prefix simulation. Each one is a simulation the
+	// leaf-local refinement avoided beyond what slice scoping alone saves.
+	LeafDerivations int
+
 	// --- static-analysis prior ------------------------------------------
 
 	// StaticDiagnostics counts the static-analysis findings on the base
@@ -295,6 +333,10 @@ func (r *Result) Summary() string {
 	if r.CacheHits+r.CacheMisses > 0 {
 		fmt.Fprintf(&sb, "  cache: hits=%d misses=%d workers=%d\n",
 			r.CacheHits, r.CacheMisses, r.ParallelWorkers)
+	}
+	if r.StaticallyRefuted+r.ImpactScoped+r.ImpactBroad > 0 {
+		fmt.Fprintf(&sb, "  impact: refuted=%d scoped=%d broad=%d leafDerived=%d\n",
+			r.StaticallyRefuted, r.ImpactScoped, r.ImpactBroad, r.LeafDerivations)
 	}
 	if r.StaticDiagnostics > 0 {
 		fmt.Fprintf(&sb, "  static prior: diagnostics=%d seededLines=%d templatesPruned=%d\n",
@@ -520,6 +562,17 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 					res.Logs = append(res.Logs, log)
 					return abort()
 				}
+				var dv *verify.DivergenceError
+				if errors.As(out.err, &dv) {
+					// The impact analysis was caught pruning unsoundly.
+					// Continuing would search on corrupted fitness data;
+					// fail the run and surface the minimized repro.
+					bv.close()
+					res.recordError(&RepairError{Kind: KindImpactDivergence, Op: "validate", Candidate: pr.update.Desc, Err: dv})
+					res.Logs = append(res.Logs, log)
+					sink.iteration(log)
+					return finish("impact-divergence")
+				}
 				continue // malformed or quarantined candidate
 			}
 			res.CandidatesValidated++
@@ -531,7 +584,7 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 				res.CacheMisses++
 				ec.put(out.digest, pr.fitness)
 			}
-			sink.candidate(iter, pr.update.Desc, pr.fitness, out.digest)
+			sink.candidate(iter, pr.update.Desc, pr.fitness, out.digest, out.stats.refuted > 0)
 			if pr.fitness < log.BestFitness {
 				log.BestFitness = pr.fitness
 			}
@@ -885,6 +938,17 @@ func checkOnce(ctx context.Context, st *valStats, iv *verify.Incremental, pr *pr
 		rep, stats, err = iv.CheckCtx(cctx, pr.update.Edits)
 		st.prefixSims += stats.PrefixesSimulated
 		st.intentChecks += stats.IntentsReverified
+		st.derived += stats.PrefixesDerived
+		if err == nil && !opts.NoImpact {
+			switch {
+			case stats.Refuted:
+				st.refuted++
+			case stats.Broad:
+				st.broad++
+			default:
+				st.scoped++
+			}
+		}
 	}
 	if err != nil && cctx.Err() != nil && ctx.Err() == nil {
 		// The candidate's own timeout tripped, not the run's: quarantine
@@ -1041,6 +1105,8 @@ func preserve(res *Result, p Problem, configs map[string]*netcfg.Config, descs [
 // indistinguishable from one preserved straight through.
 func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, opts Options) *candidate {
 	iv := verify.NewIncremental(p.Topo, configs, p.Intents, opts.SimOpts)
+	iv.NoImpact = opts.NoImpact
+	iv.Differential = opts.ImpactDifferential
 	c := &candidate{
 		configs: configs,
 		iv:      iv,
@@ -1054,7 +1120,7 @@ func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, 
 // applyUpdate materializes an update against a configuration map.
 func applyUpdate(configs map[string]*netcfg.Config, up Update) map[string]*netcfg.Config {
 	out := make(map[string]*netcfg.Config, len(configs))
-	for d, c := range configs {
+	for d, c := range configs { //acrvet:ordered
 		out[d] = c
 	}
 	for _, es := range up.Edits {

@@ -32,6 +32,11 @@ const (
 	// KindValidation: a candidate was structurally invalid (conflicting or
 	// out-of-range edits). Expected during search; never fatal.
 	KindValidation ErrorKind = "validation"
+	// KindImpactDivergence: differential mode caught the static impact
+	// analysis pruning unsoundly — a pruned verdict disagreed with the
+	// full simulation. Terminal: the run stops so the analysis defect is
+	// fixed instead of silently corrupting the search.
+	KindImpactDivergence ErrorKind = "impact-divergence"
 	// KindJournal: the write-ahead journal could not be appended to or a
 	// checkpoint could not be restored. Durability degrades (journaling is
 	// disabled for the rest of the run, or a population member is dropped

@@ -34,6 +34,10 @@ import (
 type valStats struct {
 	prefixSims   int
 	intentChecks int
+	refuted      int
+	scoped       int
+	broad        int
+	derived      int
 	retries      int
 	panicked     int
 	timedOut     int
@@ -46,6 +50,10 @@ func (s *valStats) recordError(e *RepairError) { s.errs = append(s.errs, e) }
 func (s *valStats) mergeInto(res *Result) {
 	res.PrefixSimulations += s.prefixSims
 	res.IntentChecks += s.intentChecks
+	res.StaticallyRefuted += s.refuted
+	res.ImpactScoped += s.scoped
+	res.ImpactBroad += s.broad
+	res.LeafDerivations += s.derived
 	res.ValidationRetries += s.retries
 	res.CandidatesPanicked += s.panicked
 	res.CandidatesTimedOut += s.timedOut

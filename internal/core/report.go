@@ -39,6 +39,10 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 	}
 	fmt.Fprintf(&sb, "iterations: %d  candidates validated: %d  prefix simulations: %d  intent checks: %d\n",
 		r.Iterations, r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
+	if r.StaticallyRefuted+r.ImpactScoped+r.ImpactBroad > 0 {
+		fmt.Fprintf(&sb, "impact analysis: %d statically refuted, %d scoped, %d broad, %d leaf-derived prefixes\n",
+			r.StaticallyRefuted, r.ImpactScoped, r.ImpactBroad, r.LeafDerivations)
+	}
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses  validation workers: %d\n\n",
 		r.CacheHits, r.CacheMisses, r.ParallelWorkers)
 
@@ -94,8 +98,13 @@ func (r *Result) Canonical() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "feasible=%v termination=%s iterations=%d baseFailing=%d\n",
 		r.Feasible, r.Termination, r.Iterations, r.BaseFailing)
-	fmt.Fprintf(&sb, "validated=%d prefixSims=%d intentChecks=%d\n",
-		r.CandidatesValidated, r.PrefixSimulations, r.IntentChecks)
+	// PrefixSimulations/IntentChecks (and the impact-analysis counters)
+	// are deliberately absent: they measure how much work validation did,
+	// not what it decided. The impact-scoped and -no-impact paths agree on
+	// every fitness — and therefore on everything in this string — while
+	// doing very different amounts of simulation; the `-no-impact`
+	// byte-identity ablation is how tests enforce that agreement.
+	fmt.Fprintf(&sb, "validated=%d\n", r.CandidatesValidated)
 	fmt.Fprintf(&sb, "static: diags=%d seeded=%d pruned=%d\n",
 		r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)
 	fmt.Fprintf(&sb, "quarantine: panicked=%d timedOut=%d retries=%d\n",

@@ -58,9 +58,12 @@ func (o Options) SearchDigest() string {
 	// byte-identical, so resuming under a different worker count is
 	// legitimate. NoCache is present: it changes the hit/miss counters in
 	// Canonical, so cached and uncached sessions must not mix.
-	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v nocache=%v\n",
+	// NoImpact is present for the same reason: the impact and
+	// legacy-dependency paths agree on every fitness (enforced by the
+	// differential mode) but not on the work counters.
+	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v nocache=%v noimpact=%v\n",
 		o.Formula.Name, o.MaxIterations, o.MinSusp, o.TopKLines, o.PopulationCap,
-		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache)
+		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache, o.NoImpact)
 	for _, t := range o.Templates {
 		fmt.Fprintf(h, "template=%s\n", t.Name())
 	}
@@ -121,7 +124,7 @@ func logFromJournal(l journal.IterationLog) IterationLog {
 // trailing blank lines).
 func configsToLines(configs map[string]*netcfg.Config) map[string][]string {
 	out := make(map[string][]string, len(configs))
-	for d, c := range configs {
+	for d, c := range configs { //acrvet:ordered
 		out[d] = c.Lines()
 	}
 	return out
@@ -129,7 +132,7 @@ func configsToLines(configs map[string]*netcfg.Config) map[string][]string {
 
 func configsFromLines(lines map[string][]string) map[string]*netcfg.Config {
 	out := make(map[string]*netcfg.Config, len(lines))
-	for d, ls := range lines {
+	for d, ls := range lines { //acrvet:ordered
 		out[d] = netcfg.FromLines(d, ls)
 	}
 	return out
@@ -167,6 +170,10 @@ func buildCheckpoint(res *Result, best *bestEffort, st loopState) journal.Checkp
 			ValidationRetries:     res.ValidationRetries,
 			CacheHits:             res.CacheHits,
 			CacheMisses:           res.CacheMisses,
+			StaticallyRefuted:     res.StaticallyRefuted,
+			ImpactScoped:          res.ImpactScoped,
+			ImpactBroad:           res.ImpactBroad,
+			LeafDerivations:       res.LeafDerivations,
 		},
 	}
 	for _, m := range st.pop {
@@ -218,6 +225,10 @@ func restoreCheckpoint(res *Result, best *bestEffort, p Problem, opts Options, c
 	res.ValidationRetries = cp.Counters.ValidationRetries
 	res.CacheHits = cp.Counters.CacheHits
 	res.CacheMisses = cp.Counters.CacheMisses
+	res.StaticallyRefuted = cp.Counters.StaticallyRefuted
+	res.ImpactScoped = cp.Counters.ImpactScoped
+	res.ImpactBroad = cp.Counters.ImpactBroad
+	res.LeafDerivations = cp.Counters.LeafDerivations
 	res.Logs = nil
 	for _, l := range cp.Logs {
 		res.Logs = append(res.Logs, logFromJournal(l))
@@ -289,11 +300,11 @@ func (j *journalSink) emit(op string, err error) {
 	}
 }
 
-func (j *journalSink) candidate(iter int, desc string, fitness int, digest string) {
+func (j *journalSink) candidate(iter int, desc string, fitness int, digest string, refuted bool) {
 	if j == nil || j.disabled {
 		return
 	}
-	j.emit("journal", j.w.AppendCandidate(journal.Candidate{Iteration: iter, Desc: desc, Fitness: fitness, Digest: digest}))
+	j.emit("journal", j.w.AppendCandidate(journal.Candidate{Iteration: iter, Desc: desc, Fitness: fitness, Digest: digest, Refuted: refuted}))
 }
 
 func (j *journalSink) iteration(l IterationLog) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"strings"
 
 	"acr/internal/netcfg"
@@ -544,7 +545,14 @@ func (CopyPolicyFromRole) Generate(ctx *Context, line netcfg.LineRef) []Update {
 				}
 			}
 		}
+		// Sorted: the copied entries become candidate text, and candidate
+		// text must not depend on map iteration order.
+		lists := make([]string, 0, len(listsNeeded))
 		for list := range listsNeeded {
+			lists = append(lists, list)
+		}
+		sort.Strings(lists)
+		for _, list := range lists {
 			for _, e := range of.PrefixListEntries(list) {
 				lines = append(lines, ocfg.Line(e.Line))
 			}

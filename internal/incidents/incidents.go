@@ -270,6 +270,11 @@ type RunResult struct {
 	// work.
 	PrefixSimulations int
 	IntentChecks      int
+	// StaticallyRefuted / ImpactScoped / ImpactBroad expose the static
+	// impact analysis's pruning decisions (all zero under -no-impact).
+	StaticallyRefuted int
+	ImpactScoped      int
+	ImpactBroad       int
 	// LocalizationRank is the best (smallest) SBFL rank over the ground
 	// truth lines, computed on the faulty configuration (0 = not ranked).
 	LocalizationRank int
@@ -299,6 +304,9 @@ func Run(inc *Incident, opts core.Options) *RunResult {
 	res.CandidatesValidated = r.CandidatesValidated
 	res.PrefixSimulations = r.PrefixSimulations
 	res.IntentChecks = r.IntentChecks
+	res.StaticallyRefuted = r.StaticallyRefuted
+	res.ImpactScoped = r.ImpactScoped
+	res.ImpactBroad = r.ImpactBroad
 	res.Termination = r.Termination
 	res.Improved = r.Improved
 	res.CandidatesPanicked = r.CandidatesPanicked

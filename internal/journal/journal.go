@@ -108,6 +108,10 @@ type Candidate struct {
 	// configuration set (empty in journals written before the evaluation
 	// cache existed, or when caching is disabled).
 	Digest string `json:"digest,omitempty"`
+	// Refuted records that the static impact analysis answered this
+	// candidate without simulation (its impact set was disjoint from
+	// every intent's dependencies).
+	Refuted bool `json:"refuted,omitempty"`
 }
 
 // Iteration mirrors the engine's per-iteration log line.
@@ -159,6 +163,10 @@ type Counters struct {
 	ValidationRetries     int `json:"validationRetries"`
 	CacheHits             int `json:"cacheHits,omitempty"`
 	CacheMisses           int `json:"cacheMisses,omitempty"`
+	StaticallyRefuted     int `json:"staticallyRefuted,omitempty"`
+	ImpactScoped          int `json:"impactScoped,omitempty"`
+	ImpactBroad           int `json:"impactBroad,omitempty"`
+	LeafDerivations       int `json:"leafDerivations,omitempty"`
 }
 
 // ErrorEvent is a flattened engine error (stacks and wrapped causes do not

@@ -201,6 +201,9 @@ type ResultJSON struct {
 	CandidatesValidated   int `json:"candidatesValidated"`
 	PrefixSimulations     int `json:"prefixSimulations"`
 	IntentChecks          int `json:"intentChecks"`
+	StaticallyRefuted     int `json:"staticallyRefuted,omitempty"`
+	ImpactScoped          int `json:"impactScoped,omitempty"`
+	ImpactBroad           int `json:"impactBroad,omitempty"`
 	StaticDiagnostics     int `json:"staticDiagnostics,omitempty"`
 	PriorSeededLines      int `json:"priorSeededLines,omitempty"`
 	TemplatesPrunedStatic int `json:"templatesPrunedStatic,omitempty"`
@@ -244,6 +247,9 @@ func NewResultJSON(res *core.Result) *ResultJSON {
 		CandidatesValidated:   res.CandidatesValidated,
 		PrefixSimulations:     res.PrefixSimulations,
 		IntentChecks:          res.IntentChecks,
+		StaticallyRefuted:     res.StaticallyRefuted,
+		ImpactScoped:          res.ImpactScoped,
+		ImpactBroad:           res.ImpactBroad,
 		StaticDiagnostics:     res.StaticDiagnostics,
 		PriorSeededLines:      res.PriorSeededLines,
 		TemplatesPrunedStatic: res.TemplatesPrunedStatic,

@@ -39,7 +39,7 @@ func DifferentialIntents(t *topo.Network, goodConfigs map[string]*netcfg.Config,
 		maxPairs = 256
 	}
 	files := map[string]*netcfg.File{}
-	for d, c := range goodConfigs {
+	for d, c := range goodConfigs { //acrvet:ordered
 		f, _ := netcfg.Parse(c)
 		files[d] = f
 	}

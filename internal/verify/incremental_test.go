@@ -93,11 +93,26 @@ func TestIncrementalScopesPrefixListEdit(t *testing.T) {
 	if stats.Broad {
 		t.Fatalf("static line edit classified broad: %s", stats)
 	}
+	// The impact analysis sees a semantically identical AST and statically
+	// refutes the no-op: zero simulations.
+	if !stats.Refuted || stats.PrefixesSimulated != 0 {
+		t.Errorf("no-op rewrite not statically refuted (%s)", stats)
+	}
+	// The legacy dependency heuristic cannot prove that; it re-simulates
+	// exactly the touched static's prefix.
+	iv.NoImpact = true
+	_, stats, err = iv.Check([]netcfg.EditSet{{Device: "pop0", Edits: []netcfg.Edit{
+		netcfg.ReplaceLine{At: line, Text: text},
+	}}})
+	iv.NoImpact = false
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.PrefixesSimulated != 1 {
-		t.Errorf("simulated %d prefixes, want 1 (%s)", stats.PrefixesSimulated, stats)
+		t.Errorf("legacy path simulated %d prefixes, want 1 (%s)", stats.PrefixesSimulated, stats)
 	}
 	if stats.IntentsReverified >= stats.IntentsTotal {
-		t.Errorf("reverified everything (%s); dependency scoping broken", stats)
+		t.Errorf("legacy path reverified everything (%s); dependency scoping broken", stats)
 	}
 }
 
@@ -139,14 +154,34 @@ func TestIncrementalSessionEditIsBroad(t *testing.T) {
 	if asnLine == 0 {
 		t.Fatal("S's peer stanza for C not found")
 	}
-	_, stats, err := iv.Check([]netcfg.EditSet{{Device: "S", Edits: []netcfg.Edit{
+	edits := []netcfg.EditSet{{Device: "S", Edits: []netcfg.Edit{
 		netcfg.ReplaceLine{At: asnLine, Text: " peer " + f.BGP.Peers[1].Addr.String() + " as-number 64999"},
-	}}})
+	}}}
+	_, stats, err := iv.Check(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The impact analysis scopes the session edit to S's connected
+	// component rather than declaring it broad; on Figure 2 that is the
+	// whole network, so nothing may be pruned.
+	if stats.Refuted {
+		t.Fatalf("session-affecting edit statically refuted: %s", stats)
+	}
+	if !stats.Broad && stats.PrefixesSimulated != stats.PrefixesTotal {
+		t.Errorf("session-affecting edit under-scoped: %s", stats)
+	}
+	if !stats.Broad && stats.IntentsReverified != stats.IntentsTotal {
+		t.Errorf("session-affecting edit skipped intents: %s", stats)
+	}
+	// The legacy heuristic classifies the same edit broad outright.
+	iv.NoImpact = true
+	_, stats, err = iv.Check(edits)
+	iv.NoImpact = false
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !stats.Broad {
-		t.Errorf("session-affecting edit not classified broad: %s", stats)
+		t.Errorf("legacy path: session-affecting edit not classified broad: %s", stats)
 	}
 }
 

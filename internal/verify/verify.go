@@ -117,7 +117,7 @@ func Verify(n *bgp.Net, out *bgp.Outcome, intents []Intent) *Report {
 func coveringOutcome(out *bgp.Outcome, addr netip.Addr) (netip.Prefix, *bgp.PrefixOutcome) {
 	var best netip.Prefix
 	var bestPO *bgp.PrefixOutcome
-	for p, po := range out.ByPrefix {
+	for p, po := range out.ByPrefix { //acrvet:ordered
 		if p.Contains(addr) && (!best.IsValid() || p.Bits() > best.Bits()) {
 			best, bestPO = p, po
 		}
