@@ -9,10 +9,13 @@
 //	acr localize (-builtin <name> | -dir <casedir>) [-formula tarantula] [-top 15]
 //	acr repair   (-builtin <name> | -dir <casedir>) [-strategy evolutionary] [-seed 0] [-out <dir>]
 //	             [-journal <dir> [-resume]] [-p <workers>] [-no-cache] [-o text|json]
+//	             [-cache-dir <dir> [-cache-max-bytes <n>]]
 //	acr serve    -state-dir <dir> [-addr 127.0.0.1:7365] [-workers 2] [-queue-cap 64]
 //	             [-job-parallelism <n>] [-debug-addr 127.0.0.1:6060]
+//	             [-cache-dir <dir>|none] [-cache-max-bytes <n>]
 //	             [-peers <addr,addr,...> -fleet-dir <dir> [-advertise <addr>]
 //	              [-lease-ttl 15s] [-health-interval 1s]]
+//	acr cache    (stats|verify|gc) -cache-dir <dir> [-cache-max-bytes <n>] [-json]
 //
 // lint exits 0 when clean, 1 when findings are at or above the -severity
 // threshold, and 2 when a configuration failed to parse.
@@ -22,6 +25,16 @@
 // its last checkpoint and, with the same -seed, reproduces the exact
 // result of an uninterrupted run. A resumed run that reaches feasibility
 // exits 5 (see exit.go for the full table).
+//
+// repair -cache-dir layers a persistent, corruption-tolerant evaluation
+// store under the in-memory cache: repeated repairs of the same incident
+// read fitness values from disk instead of re-simulating. The store is
+// advisory — corrupt or unreadable entries are quarantined and degrade to
+// cache misses, and the repair result is byte-identical with or without
+// it. serve opens one automatically under -state-dir (or the shared
+// -fleet-dir in fleet mode, deduplicating evaluations fleet-wide);
+// -cache-dir none disables it. acr cache inspects, verifies, and compacts
+// a store directory; cache verify exits 1 when it quarantines entries.
 //
 // Builtins: figure2 (the paper's worked incident), figure2-repaired,
 // dcn4, wan. Case directories follow the format documented in
@@ -39,6 +52,7 @@ import (
 	"acr/internal/caseio"
 	"acr/internal/chaos"
 	"acr/internal/core"
+	"acr/internal/evalstore"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
 	"acr/internal/service"
@@ -64,6 +78,8 @@ func main() {
 		err = runRepair(args)
 	case "serve":
 		err = runServe(args)
+	case "cache":
+		err = runCache(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -79,7 +95,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair|serve> [flags]
+	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair|serve|cache> [flags]
   -builtin figure2|figure2-repaired|dcn4|wan   use a built-in case
   -dir <casedir>                               load a case directory
 run "acr <cmd> -h" for command flags`)
@@ -238,7 +254,9 @@ func runRepair(args []string) error {
 	maxIter := fs.Int("max-iterations", 0, "iteration cap (default 500)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the repair (0 = unlimited)")
 	parallel := fs.Int("p", 0, "candidate-validation workers (0 = GOMAXPROCS); any value yields the identical repair")
-	noCache := fs.Bool("no-cache", false, "disable the content-addressed evaluation cache")
+	noCache := fs.Bool("no-cache", false, "disable the content-addressed evaluation cache (including -cache-dir)")
+	cacheDir := fs.String("cache-dir", "", "persistent evaluation store directory, shared across runs and processes (empty = in-memory only)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "persistent store byte budget (0 = 256 MiB); oldest entries evict first")
 	noImpact := fs.Bool("no-impact", false, "disable static impact analysis (ablation: every candidate is fully scoped by the legacy dependency heuristic)")
 	impactDiff := fs.Bool("impact-differential", false, "replay every pruned validation against a full simulation and fail the run on any divergence (soundness audit)")
 	journalDir := fs.String("journal", "", "write a crash-safe session journal to this directory")
@@ -266,6 +284,16 @@ func runRepair(args []string) error {
 	}
 	if *resume && *journalDir == "" {
 		return fmt.Errorf("-resume requires -journal")
+	}
+	if *cacheDir != "" {
+		// The store is advisory by contract: a directory that cannot be
+		// opened costs simulations, not the repair.
+		if es, err := evalstore.Open(*cacheDir, *cacheMax); err != nil {
+			fmt.Fprintf(os.Stderr, "acr: warning: evaluation store %s unavailable (%v); continuing without it\n", *cacheDir, err)
+		} else {
+			defer es.Close()
+			opts.Store = es
+		}
 	}
 	if *journalDir != "" {
 		var w *acr.JournalWriter

@@ -10,6 +10,7 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -46,6 +47,8 @@ func runServe(args []string) error {
 	fleetDir := fs.String("fleet-dir", "", "shared fleet directory, same filesystem as every node's -state-dir (required with -peers)")
 	leaseTTL := fs.Duration("lease-ttl", service.DefaultLeaseTTL, "job lease duration; expired leases on down nodes are adopted by peers")
 	healthInterval := fs.Duration("health-interval", service.DefaultHealthInterval, "peer healthcheck period")
+	cacheDir := fs.String("cache-dir", "", "persistent evaluation store directory (default <state-dir>/evalstore, or <fleet-dir>/evalstore in fleet mode; \"none\" disables)")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "persistent store byte budget (0 = 256 MiB)")
 	fs.Parse(args)
 	if *stateDir == "" {
 		return fmt.Errorf("serve requires -state-dir")
@@ -73,6 +76,22 @@ func runServe(args []string) error {
 			HealthInterval: *healthInterval,
 		}
 	}
+	// The evaluation store defaults on: under the shared fleet directory in
+	// fleet mode (every peer reads every peer's evaluations — a duplicate
+	// incident costs the fleet one simulation set) or under the node's own
+	// state directory otherwise.
+	switch *cacheDir {
+	case "none":
+	case "":
+		if cfg.Fleet != nil {
+			cfg.CacheDir = filepath.Join(*fleetDir, "evalstore")
+		} else {
+			cfg.CacheDir = filepath.Join(*stateDir, "evalstore")
+		}
+	default:
+		cfg.CacheDir = *cacheDir
+	}
+	cfg.CacheMaxBytes = *cacheMax
 	var hooks []journal.AppendHook
 	if *holdUntil != "" {
 		// Crash tests submit a batch and then release it, so the kill

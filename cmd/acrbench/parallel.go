@@ -11,6 +11,7 @@ import (
 
 	"acr"
 	"acr/internal/core"
+	"acr/internal/evalstore"
 	"acr/internal/netcfg"
 )
 
@@ -22,9 +23,16 @@ var (
 )
 
 // parallelRow is one configuration of the scaling sweep in the JSON output.
+// Store/StoreHits/StoreMisses/FleetDedup are set only on the persistent-
+// store rows: "cold" writes the evaluations through, "warm" re-runs the
+// same case set answered from disk — the fleet-dedup path, where a
+// duplicate incident on another peer reuses evaluations a node already
+// paid for. FleetDedup is the fraction of the cold run's validation
+// simulations the warm run avoided (1.0 = the duplicate was free).
 type parallelRow struct {
 	Workers          int     `json:"workers"`
 	Cache            bool    `json:"cache"`
+	Store            string  `json:"store,omitempty"`
 	WallSeconds      float64 `json:"wallSeconds"`
 	Validated        int     `json:"candidatesValidated"`
 	PrefixSims       int     `json:"prefixSimulations"`
@@ -32,6 +40,9 @@ type parallelRow struct {
 	Refuted          int     `json:"staticallyRefuted"`
 	CacheHits        int     `json:"cacheHits"`
 	CacheMisses      int     `json:"cacheMisses"`
+	StoreHits        int     `json:"storeHits,omitempty"`
+	StoreMisses      int     `json:"storeMisses,omitempty"`
+	FleetDedup       float64 `json:"fleetDedup,omitempty"`
 	SpeedupVsSerial  float64 `json:"speedupVsSerial"`
 	CanonicalsSHA256 string  `json:"canonicalsSha256"`
 }
@@ -50,6 +61,9 @@ type parallelReport struct {
 	HeadlineSpeedup float64       `json:"headlineSpeedup"` // cache -p8 vs no-cache -p1
 	WideningCase    string        `json:"wideningCase"`
 	WideningHitRate float64       `json:"wideningHitRate"`
+	// FleetDedup echoes the warm store row's dedup fraction: how much of a
+	// duplicate incident's validation work the shared store absorbs.
+	FleetDedup float64 `json:"fleetDedup,omitempty"`
 }
 
 // wrongASNWAN injects a wrong AS number into a WAN peer stanza — a fault
@@ -162,6 +176,63 @@ func parallelExp(size int, seed int64) {
 				workers, cache, row.WallSeconds, row.Validated, row.PrefixSims,
 				row.SimsPerCandidate, row.Refuted, row.CacheHits, row.CacheMisses, row.SpeedupVsSerial)
 		}
+	}
+
+	// Persistent-store rows: the full case set again at -p 8 with the cache
+	// on, first writing through a cold store, then answered by the warm one.
+	// The warm row is the measured fleet-dedup claim, and both rows feed the
+	// cache-on determinism set: a store in any state must not move a byte.
+	storeDir, err := os.MkdirTemp("", "acrbench-evalstore-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrbench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(storeDir)
+	fmt.Printf("\npersistent store (cache on, -p 8; warm = duplicate incident on another fleet peer):\n")
+	fmt.Printf("%-6s %10s %10s %10s %9s %9s %10s\n",
+		"store", "wall", "validated", "prefixSim", "hits", "misses", "fleetDedup")
+	var coldSims int
+	for _, phase := range []string{"cold", "warm"} {
+		st, err := evalstore.Open(storeDir, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		row := parallelRow{Workers: 8, Cache: true, Store: phase}
+		h := sha256.New()
+		for _, c := range cases {
+			opts := c.opts
+			opts.Parallelism = 8
+			opts.Store = st
+			start := time.Now()
+			res := acr.Repair(c.mk(), opts)
+			row.WallSeconds += time.Since(start).Seconds()
+			row.Validated += res.CandidatesValidated
+			row.PrefixSims += res.PrefixSimulations
+			row.Refuted += res.StaticallyRefuted
+			row.CacheHits += res.CacheHits
+			row.CacheMisses += res.CacheMisses
+			row.StoreHits += res.StoreHits
+			row.StoreMisses += res.StoreMisses
+			fmt.Fprintf(h, "case %s\n%s", c.name, res.Canonical())
+		}
+		st.Close()
+		if row.Validated > 0 {
+			row.SimsPerCandidate = float64(row.PrefixSims) / float64(row.Validated)
+		}
+		row.CanonicalsSHA256 = hex.EncodeToString(h.Sum(nil))
+		shaByCache[true][row.CanonicalsSHA256] = true
+		row.SpeedupVsSerial = serialWall[true] / row.WallSeconds
+		if phase == "cold" {
+			coldSims = row.PrefixSims
+		} else if coldSims > 0 {
+			row.FleetDedup = 1 - float64(row.PrefixSims)/float64(coldSims)
+			rep.FleetDedup = row.FleetDedup
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-6s %9.2fs %10d %10d %9d %9d %9.1f%%\n",
+			phase, row.WallSeconds, row.Validated, row.PrefixSims,
+			row.StoreHits, row.StoreMisses, 100*row.FleetDedup)
 	}
 
 	rep.Deterministic = len(shaByCache[true]) == 1 && len(shaByCache[false]) == 1

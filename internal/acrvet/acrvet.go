@@ -205,13 +205,15 @@ func Run(root string, pkgs []string) ([]Finding, error) {
 }
 
 // DefaultPackages is the merge-path package set CI vets: the engine, the
-// verifier, the impact/lint analyzers, and the journal — everything whose
-// output feeds Canonical() or the write-ahead journal.
+// verifier, the impact/lint analyzers, the journal, and the persistent
+// evaluation store — everything whose output feeds Canonical(), the
+// write-ahead journal, or the store the engine reads evaluations from.
 var DefaultPackages = []string{
 	"internal/core",
 	"internal/verify",
 	"internal/analysis",
 	"internal/journal",
+	"internal/evalstore",
 }
 
 func (c *checker) pos(n ast.Node) string {

@@ -10,6 +10,24 @@ import (
 	"acr/internal/netcfg"
 )
 
+// EvalStore is the persistent layer under the in-memory evaluation cache:
+// a content-addressed store of validated fitness values shared across runs,
+// processes, and fleet peers (internal/evalstore implements it; core only
+// sees the interface so the dependency points outward). The store is
+// advisory by contract — implementations must degrade every failure to a
+// miss — and its answers are consulted only for digests the in-memory
+// cache does not hold, so a warm store changes which validations simulate,
+// never what any validation decides.
+type EvalStore interface {
+	// Get looks a digest up. ok reports a verified entry; corrupt reports
+	// that an entry existed but failed integrity verification (the lookup
+	// is still a miss — the engine re-simulates and may re-store).
+	Get(digest string) (fitness int, ok, corrupt bool)
+	// Put stores a validated fitness. Implementations never fail the
+	// caller; a lost write simply stays a miss.
+	Put(digest string, fitness int)
+}
+
 // evalCache is the run-scoped content-addressed fitness cache: it maps the
 // canonical digest of a post-edit configuration set to the fitness
 // (failing-intent count) validation computed for it. Proposals that
@@ -31,16 +49,31 @@ type evalCache struct {
 	// parent's pointers for unedited devices) are memoized; the transient
 	// configs produced while digesting a proposal are hashed and dropped.
 	cfg map[*netcfg.Config]string
+	// store is the persistent layer (nil = memory only). It is consulted
+	// only at batch classification, for digests missing from memory, and
+	// written back only from the merge loop — the same single-goroutine
+	// discipline that keeps the in-memory counters deterministic.
+	store EvalStore
+	// storeCorrupt counts store entries that failed integrity verification
+	// during this run (folded into Result.StoreCorrupt at the end).
+	storeCorrupt int
 }
 
 // newEvalCache builds the run's cache; disabled caches answer no lookups
 // and store nothing, so the NoCache ablation leaves both counters at zero.
+// NoCache also severs the persistent store: digests are never computed, so
+// nothing could be looked up or written back anyway, and the ablation must
+// measure a run with no caching of any kind.
 func newEvalCache(opts Options) *evalCache {
-	return &evalCache{
+	ec := &evalCache{
 		enabled: !opts.NoCache,
 		fitness: map[string]int{},
 		cfg:     map[*netcfg.Config]string{},
 	}
+	if ec.enabled {
+		ec.store = opts.Store
+	}
+	return ec
 }
 
 // configDigest hashes one configuration's exact line content (length-framed
@@ -133,6 +166,35 @@ func (c *evalCache) put(d string, fitness int) {
 	}
 }
 
+// storeGet consults the persistent store for a digest the in-memory cache
+// missed. Corrupt entries are tallied (the store has already quarantined
+// them) and reported as misses. Called only from batch classification on
+// the engine goroutine, in proposal order, so the sequence of store reads —
+// and therefore any fault-injection schedule against them — is identical
+// at every parallelism level.
+func (c *evalCache) storeGet(d string) (int, bool) {
+	if c.store == nil || d == "" {
+		return 0, false
+	}
+	fit, ok, corrupt := c.store.Get(d)
+	if corrupt {
+		c.storeCorrupt++
+	}
+	if !ok || fit < 0 {
+		return 0, false
+	}
+	return fit, true
+}
+
+// storePut writes a simulated fitness through to the persistent store.
+// Merge-loop only, like put.
+func (c *evalCache) storePut(d string, fitness int) {
+	if c.store == nil || d == "" || fitness < 0 {
+		return
+	}
+	c.store.Put(d, fitness)
+}
+
 // warm preloads the cache from a resumed session's journaled candidate
 // events. Only candidates at or before the restored checkpoint's iteration
 // are loaded: those are exactly the entries the straight-through run's
@@ -140,6 +202,12 @@ func (c *evalCache) put(d string, fitness int) {
 // resumed loop), which is what keeps a resumed run's hit/miss counters —
 // and therefore Result.Canonical — byte-identical to an uninterrupted
 // run's. Journals written before digests existed warm nothing.
+//
+// Warmed entries are also written through to the persistent store: a fleet
+// node adopting a crashed peer's session replays fitness values its own
+// local view may never have seen, and writing them back makes the adoption
+// pay the dead node's evaluations forward. Put skips digests the store
+// already holds, so re-warming an already-shared store is free.
 func (c *evalCache) warm(cands []journal.Candidate, upTo int) {
 	if !c.enabled {
 		return
@@ -147,6 +215,7 @@ func (c *evalCache) warm(cands []journal.Candidate, upTo int) {
 	for _, cd := range cands {
 		if cd.Iteration <= upTo && cd.Digest != "" && cd.Fitness >= 0 {
 			c.put(cd.Digest, cd.Fitness)
+			c.storePut(cd.Digest, cd.Fitness)
 		}
 	}
 }

@@ -97,6 +97,17 @@ type Options struct {
 	// enforcement mode the corpus CI job runs under. Purely observational
 	// on a sound analysis, so it is excluded from SearchDigest.
 	ImpactDifferential bool
+	// Store, when non-nil, is the persistent content-addressed evaluation
+	// store layered under the in-memory cache (internal/evalstore): digests
+	// the cache misses are looked up there before simulating, and freshly
+	// simulated fitness values are written back. Because fitness is a pure
+	// function of the configuration set, a store answer replaces only the
+	// simulation, never the decision — Canonical() output is byte-identical
+	// with a cold, warm, corrupt, or absent store. The store is therefore
+	// excluded from SearchDigest (like Parallelism): a journaled session
+	// may resume on a machine with a different -cache-dir, a different
+	// budget, or no store at all. NoCache severs the store too.
+	Store EvalStore
 
 	// --- robustness -----------------------------------------------------
 
@@ -244,6 +255,28 @@ type Result struct {
 	// identical results.
 	ParallelWorkers int
 
+	// --- persistent evaluation store ------------------------------------
+	//
+	// Cost counters of the disk-backed store (all 0 without Options.Store).
+	// Like PrefixSimulations and the impact counters they measure how much
+	// work was avoided or lost, not what the search decided, and are
+	// excluded from Canonical() and from checkpoints: a warm store, a
+	// corrupted store, and no store at all produce byte-identical results.
+
+	// StoreHits counts candidates whose simulation was skipped because the
+	// persistent store held a verified entry for their digest. Each one is
+	// still accounted as an in-memory CacheMiss — exactly what a cold run
+	// would have recorded after simulating.
+	StoreHits int
+	// StoreMisses counts in-memory cache misses the store could not answer
+	// (absent, evicted, I/O failure, or corrupt entry); these candidates
+	// were simulated and written back.
+	StoreMisses int
+	// StoreCorrupt counts store entries that failed integrity verification
+	// (CRC, framing, or digest mismatch) during this run; each was
+	// quarantined by the store and degraded to a StoreMiss.
+	StoreCorrupt int
+
 	// --- static impact analysis -----------------------------------------
 	//
 	// Work counters of the candidate impact analysis (all 0 with
@@ -334,6 +367,10 @@ func (r *Result) Summary() string {
 		fmt.Fprintf(&sb, "  cache: hits=%d misses=%d workers=%d\n",
 			r.CacheHits, r.CacheMisses, r.ParallelWorkers)
 	}
+	if r.StoreHits+r.StoreMisses+r.StoreCorrupt > 0 {
+		fmt.Fprintf(&sb, "  store: hits=%d misses=%d corrupt=%d\n",
+			r.StoreHits, r.StoreMisses, r.StoreCorrupt)
+	}
 	if r.StaticallyRefuted+r.ImpactScoped+r.ImpactBroad > 0 {
 		fmt.Fprintf(&sb, "  impact: refuted=%d scoped=%d broad=%d leafDerived=%d\n",
 			r.StaticallyRefuted, r.ImpactScoped, r.ImpactBroad, r.LeafDerivations)
@@ -413,6 +450,10 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 		res.Termination = term
 		best.writeTo(res)
 		sink.terminal(term, res.Feasible)
+		// Fold the cache's store-corruption tally in on every exit path.
+		// Not checkpointed and not part of Canonical(): a resumed run only
+		// reports the corruption it observed itself.
+		res.StoreCorrupt = ec.storeCorrupt
 		res.WallClock = time.Since(start)
 		return res
 	}
@@ -581,8 +622,19 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 			if out.hit {
 				res.CacheHits++
 			} else if out.digest != "" {
+				// A store answer is accounted as an in-memory miss, exactly
+				// like the simulation it replaced: the fitness enters the
+				// cache so later duplicates hit it, and CacheHits/CacheMisses
+				// — part of Canonical() — match a cold-store run byte for
+				// byte. Only the cost counters below see the store.
 				res.CacheMisses++
 				ec.put(out.digest, pr.fitness)
+				if out.mode == modeStore {
+					res.StoreHits++
+				} else if ec.store != nil {
+					res.StoreMisses++
+					ec.storePut(out.digest, pr.fitness)
+				}
 			}
 			sink.candidate(iter, pr.update.Desc, pr.fitness, out.digest, out.stats.refuted > 0)
 			if pr.fitness < log.BestFitness {

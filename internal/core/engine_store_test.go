@@ -1,0 +1,199 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"acr/internal/core"
+	"acr/internal/scenario"
+)
+
+// fakeStore is an in-memory core.EvalStore with fault knobs, so the
+// engine-side contract is tested without touching disk (internal/evalstore
+// has its own tests; internal/chaos tests the two together).
+type fakeStore struct {
+	mu         sync.Mutex
+	m          map[string]int
+	gets, puts int
+	corruptAll bool // every Get reports a corrupt (quarantined) entry
+	failAll    bool // every Get misses and every Put drops (I/O fault)
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: map[string]int{}} }
+
+func (f *fakeStore) Get(digest string) (int, bool, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gets++
+	if f.corruptAll {
+		delete(f.m, digest) // quarantine semantics: never answered twice
+		return 0, false, true
+	}
+	if f.failAll {
+		return 0, false, false
+	}
+	fit, ok := f.m[digest]
+	return fit, ok, false
+}
+
+func (f *fakeStore) Put(digest string, fitness int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.puts++
+	if f.failAll {
+		return
+	}
+	if _, ok := f.m[digest]; !ok {
+		f.m[digest] = fitness
+	}
+}
+
+func (f *fakeStore) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.m)
+}
+
+// TestStoreWarmByteIdentity is the tentpole invariant at the engine layer:
+// a run writing through a cold store, a run answered by the warm store,
+// and a run with no store at all produce byte-identical Canonical() output
+// — the store moves evaluations off the simulator without touching one
+// decision. The cost counters are where the store is allowed to show.
+func TestStoreWarmByteIdentity(t *testing.T) {
+	s := scenario.Figure2()
+	p := problemOf(s)
+	base := core.Options{Strategy: core.BruteForce, Parallelism: 1}
+
+	cold := core.Repair(p, base)
+	if !cold.Feasible {
+		t.Fatalf("baseline infeasible: %s", cold.Summary())
+	}
+	if cold.StoreHits+cold.StoreMisses+cold.StoreCorrupt != 0 {
+		t.Fatalf("storeless run counted store traffic: %s", cold.Summary())
+	}
+
+	st := newFakeStore()
+	populate := base
+	populate.Store = st
+	first := core.Repair(p, populate)
+	if got, want := first.Canonical(), cold.Canonical(); got != want {
+		t.Fatalf("cold-store run diverges from storeless run\n--- storeless ---\n%s\n--- cold store ---\n%s", want, got)
+	}
+	if first.StoreHits != 0 || first.StoreMisses != first.CacheMisses {
+		t.Fatalf("cold store counters: hits=%d misses=%d cacheMisses=%d",
+			first.StoreHits, first.StoreMisses, first.CacheMisses)
+	}
+	if st.len() == 0 {
+		t.Fatal("cold-store run wrote nothing back")
+	}
+
+	warm := core.Repair(p, populate)
+	if got, want := warm.Canonical(), cold.Canonical(); got != want {
+		t.Fatalf("warm-store run diverges from storeless run\n--- storeless ---\n%s\n--- warm ---\n%s", want, got)
+	}
+	if warm.StoreMisses != 0 {
+		t.Fatalf("warm store still missed %d times", warm.StoreMisses)
+	}
+	if warm.StoreHits != warm.CacheMisses || warm.StoreHits == 0 {
+		t.Fatalf("warm store hits=%d, want every in-memory miss (%d) answered", warm.StoreHits, warm.CacheMisses)
+	}
+	if warm.PrefixSimulations >= first.PrefixSimulations {
+		t.Fatalf("warm store saved no simulations: warm=%d cold=%d",
+			warm.PrefixSimulations, first.PrefixSimulations)
+	}
+}
+
+// TestParallelStoreDeterminism pins -p 1 ≡ -p N over a warm store: store
+// reads happen at batch classification on the engine goroutine, so the
+// worker count must not change which candidates the store answers.
+func TestParallelStoreDeterminism(t *testing.T) {
+	s := scenario.Figure2()
+	p := problemOf(s)
+	st := newFakeStore()
+	opts := core.Options{Strategy: core.BruteForce, Parallelism: 1, Store: st}
+	core.Repair(p, opts) // populate
+
+	serial := core.Repair(p, opts)
+	for _, workers := range []int{4, 8} {
+		par := opts
+		par.Parallelism = workers
+		res := core.Repair(p, par)
+		if res.Canonical() != serial.Canonical() {
+			t.Errorf("-p %d over warm store diverges from -p 1\n--- p1 ---\n%s\n--- p%d ---\n%s",
+				workers, serial.Canonical(), workers, res.Canonical())
+		}
+		if res.StoreHits != serial.StoreHits || res.StoreMisses != serial.StoreMisses {
+			t.Errorf("-p %d store counters hits=%d misses=%d, want hits=%d misses=%d",
+				workers, res.StoreHits, res.StoreMisses, serial.StoreHits, serial.StoreMisses)
+		}
+	}
+}
+
+// TestStoreFaultsAreInvisible runs the engine against a store that is
+// all-corrupt, then one that fails every I/O: both must produce the
+// storeless run's bytes, with the damage visible only in cost counters.
+func TestStoreFaultsAreInvisible(t *testing.T) {
+	s := scenario.Figure2()
+	p := problemOf(s)
+	base := core.Options{Strategy: core.BruteForce, Parallelism: 1}
+	want := core.Repair(p, base).Canonical()
+
+	corrupt := newFakeStore()
+	corrupt.corruptAll = true
+	opts := base
+	opts.Store = corrupt
+	res := core.Repair(p, opts)
+	if res.Canonical() != want {
+		t.Fatalf("all-corrupt store changed the result\n--- want ---\n%s\n--- got ---\n%s", want, res.Canonical())
+	}
+	if res.StoreCorrupt == 0 || res.StoreHits != 0 {
+		t.Fatalf("all-corrupt store counters: %s", res.Summary())
+	}
+
+	failing := newFakeStore()
+	failing.failAll = true
+	opts.Store = failing
+	res = core.Repair(p, opts)
+	if res.Canonical() != want {
+		t.Fatalf("all-failing store changed the result\n--- want ---\n%s\n--- got ---\n%s", want, res.Canonical())
+	}
+	if res.StoreHits != 0 || res.StoreMisses != res.CacheMisses {
+		t.Fatalf("all-failing store counters: %s", res.Summary())
+	}
+}
+
+// TestNoCacheBypassesStore: the -no-cache ablation measures a run with no
+// caching of any kind, so the persistent store must see zero traffic.
+func TestNoCacheBypassesStore(t *testing.T) {
+	s := scenario.Figure2()
+	p := problemOf(s)
+	st := newFakeStore()
+	st.m["deadbeef"] = 1 // anything in here must stay unread
+	res := core.Repair(p, core.Options{Strategy: core.BruteForce, Parallelism: 1, NoCache: true, Store: st})
+	if !res.Feasible {
+		t.Fatalf("infeasible: %s", res.Summary())
+	}
+	if st.gets != 0 || st.puts != 0 {
+		t.Fatalf("NoCache run touched the store: gets=%d puts=%d", st.gets, st.puts)
+	}
+	if res.StoreHits+res.StoreMisses+res.StoreCorrupt != 0 {
+		t.Fatalf("NoCache run counted store traffic: %s", res.Summary())
+	}
+}
+
+// TestSearchDigestExcludesStore: the store is infrastructure, not search
+// steering — a journaled session must resume under a different cache
+// directory, budget, or no store at all (the Parallelism precedent).
+func TestSearchDigestExcludesStore(t *testing.T) {
+	base := core.Options{Seed: 7, MaxIterations: 40}
+	with := base
+	with.Store = newFakeStore()
+	if base.SearchDigest() != with.SearchDigest() {
+		t.Fatal("Options.Store changed SearchDigest; resume across cache configurations would refuse")
+	}
+	nocache := base
+	nocache.NoCache = true
+	if base.SearchDigest() == nocache.SearchDigest() {
+		t.Fatal("NoCache must stay inside SearchDigest")
+	}
+}

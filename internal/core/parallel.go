@@ -74,6 +74,14 @@ const (
 	// same digest; the follower takes the leader's merged fitness — the
 	// same answer the serial engine's cache would have given it.
 	modeFollower
+	// modeStore: the persistent evaluation store held this proposal's
+	// digest. The simulation is skipped, but the merge loop accounts the
+	// proposal exactly like a freshly simulated one — an in-memory cache
+	// miss whose fitness enters the cache — so CacheHits/CacheMisses (which
+	// are part of Canonical()) are byte-identical to a cold-store run; only
+	// the StoreHits/StoreMisses/PrefixSimulations cost counters, all
+	// excluded from Canonical(), reveal the store was there.
+	modeStore
 )
 
 // valOutcome is one proposal's validation slot.
@@ -145,6 +153,15 @@ func newBatchValidator(ctx context.Context, props []proposal, opts Options, cach
 			continue
 		}
 		leaders[d] = i
+		// Only distinct digests reach the persistent store: one disk read
+		// per batch leader, on the engine goroutine, in proposal order —
+		// never from workers — so store I/O (and any injected store fault
+		// sequence) is deterministic at every parallelism level.
+		if fit, ok := cache.storeGet(d); ok {
+			out.mode = modeStore
+			out.fitness, out.ok = fit, true
+			continue
+		}
 		bv.queue = append(bv.queue, i)
 	}
 	if !bv.lazy {
@@ -208,6 +225,9 @@ func (bv *batchValidator) resolve(i int) *valOutcome {
 	out := &bv.outs[i]
 	switch out.mode {
 	case modeHit:
+	case modeStore:
+		// Answered by the persistent store at classification time; the
+		// fitness is already in the slot and nothing was queued.
 	case modeFollower:
 		lead := &bv.outs[out.leader]
 		if lead.ok {

@@ -43,8 +43,13 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 		fmt.Fprintf(&sb, "impact analysis: %d statically refuted, %d scoped, %d broad, %d leaf-derived prefixes\n",
 			r.StaticallyRefuted, r.ImpactScoped, r.ImpactBroad, r.LeafDerivations)
 	}
-	fmt.Fprintf(&sb, "cache: %d hits, %d misses  validation workers: %d\n\n",
+	fmt.Fprintf(&sb, "cache: %d hits, %d misses  validation workers: %d\n",
 		r.CacheHits, r.CacheMisses, r.ParallelWorkers)
+	if r.StoreHits+r.StoreMisses+r.StoreCorrupt > 0 {
+		fmt.Fprintf(&sb, "persistent store: %d hits, %d misses, %d corrupt entries quarantined\n",
+			r.StoreHits, r.StoreMisses, r.StoreCorrupt)
+	}
+	sb.WriteByte('\n')
 
 	if len(r.Logs) > 0 {
 		fmt.Fprintf(&sb, "## Iterations\n\n")
@@ -111,6 +116,10 @@ func (r *Result) Canonical() string {
 		r.CandidatesPanicked, r.CandidatesTimedOut, r.ValidationRetries)
 	// ParallelWorkers is deliberately absent: the worker count must not
 	// change the result, and this line is how tests enforce that.
+	// StoreHits/StoreMisses/StoreCorrupt are deliberately absent too: the
+	// persistent store only moves evaluations between "simulated" and
+	// "read from disk", so a warm, cold, faulty, or absent store must
+	// produce this exact string — the storage-chaos harness asserts it.
 	fmt.Fprintf(&sb, "cache: hits=%d misses=%d\n", r.CacheHits, r.CacheMisses)
 	for _, a := range r.Applied {
 		fmt.Fprintf(&sb, "applied %s\n", a)

@@ -61,6 +61,10 @@ func (o Options) SearchDigest() string {
 	// NoImpact is present for the same reason: the impact and
 	// legacy-dependency paths agree on every fitness (enforced by the
 	// differential mode) but not on the work counters.
+	// Store is deliberately absent, like Parallelism: the persistent
+	// evaluation store only substitutes disk reads for simulations without
+	// touching anything in Canonical, so a session may resume on a machine
+	// with a different -cache-dir, budget, or no store at all.
 	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v nocache=%v noimpact=%v\n",
 		o.Formula.Name, o.MaxIterations, o.MinSusp, o.TopKLines, o.PopulationCap,
 		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache, o.NoImpact)

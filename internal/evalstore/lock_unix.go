@@ -1,0 +1,20 @@
+//go:build unix
+
+package evalstore
+
+import "syscall"
+
+// flockWait takes a blocking exclusive flock on fd. The store's write
+// sections are short (one atomic file write plus eviction bookkeeping), so
+// writers queue instead of failing: unlike the journal's session lock,
+// contention here is expected — every process sharing a cache directory
+// writes through it. The lock belongs to the open file description and dies
+// with the process, so a SIGKILL mid-write never wedges the directory.
+func flockWait(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_EX)
+}
+
+// flockRelease drops the flock held on fd.
+func flockRelease(fd uintptr) error {
+	return syscall.Flock(int(fd), syscall.LOCK_UN)
+}

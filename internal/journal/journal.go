@@ -472,6 +472,14 @@ func encodeFrame(rec *Record) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return Frame(payload)
+}
+
+// Frame wraps an arbitrary payload in the WAL's on-disk framing —
+// [4-byte big-endian length][4-byte big-endian CRC-32C][payload] — so other
+// durable stores (internal/evalstore) share the journal's corruption
+// detection instead of inventing a second format.
+func Frame(payload []byte) ([]byte, error) {
 	if len(payload) > maxRecordSize {
 		return nil, fmt.Errorf("journal: record of %d bytes exceeds frame limit", len(payload))
 	}
@@ -480,6 +488,28 @@ func encodeFrame(rec *Record) ([]byte, error) {
 	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
 	copy(frame[8:], payload)
 	return frame, nil
+}
+
+// Unframe verifies and strips exactly one frame: the buffer must hold one
+// complete record and nothing else. It rejects short buffers, declared
+// lengths that disagree with the buffer (a torn tail or appended garbage),
+// and CRC mismatches (bit rot). The returned payload aliases b.
+func Unframe(b []byte) ([]byte, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("journal: frame of %d bytes is shorter than its header", len(b))
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	if n > maxRecordSize {
+		return nil, fmt.Errorf("journal: frame declares %d bytes, above the record limit", n)
+	}
+	if int(n) != len(b)-8 {
+		return nil, fmt.Errorf("journal: frame declares %d payload bytes but holds %d", n, len(b)-8)
+	}
+	payload := b[8:]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.BigEndian.Uint32(b[4:8]); got != want {
+		return nil, fmt.Errorf("journal: frame CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, nil
 }
 
 // WriteFileAtomic writes data to path with the temp-file + rename + fsync

@@ -213,6 +213,9 @@ type ResultJSON struct {
 	CacheHits             int `json:"cacheHits,omitempty"`
 	CacheMisses           int `json:"cacheMisses,omitempty"`
 	ParallelWorkers       int `json:"parallelWorkers,omitempty"`
+	StoreHits             int `json:"storeHits,omitempty"`
+	StoreMisses           int `json:"storeMisses,omitempty"`
+	StoreCorrupt          int `json:"storeCorrupt,omitempty"`
 
 	Applied []string `json:"applied,omitempty"`
 	Diffs   []string `json:"diffs,omitempty"`
@@ -259,6 +262,9 @@ func NewResultJSON(res *core.Result) *ResultJSON {
 		CacheHits:             res.CacheHits,
 		CacheMisses:           res.CacheMisses,
 		ParallelWorkers:       res.ParallelWorkers,
+		StoreHits:             res.StoreHits,
+		StoreMisses:           res.StoreMisses,
+		StoreCorrupt:          res.StoreCorrupt,
 
 		Applied: res.Applied,
 		Diffs:   res.Diffs,

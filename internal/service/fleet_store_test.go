@@ -1,0 +1,101 @@
+package service_test
+
+import (
+	"testing"
+	"time"
+
+	"acr/internal/service"
+)
+
+// waitTerminal polls one node's local view of a job until it is terminal.
+func waitTerminal(t *testing.T, n *fleetNode, id string) service.Job {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if job, ok := n.srv.Job(id); ok && job.State.Terminal() {
+			return job
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	job, _ := n.srv.Job(id)
+	t.Fatalf("job %s never reached a terminal state on %s (now %s, error %q)",
+		id, n.addr, job.State, job.Error)
+	return service.Job{}
+}
+
+// TestFleetStoreDedupAcrossPeers is the acceptance e2e for the shared
+// persistent evaluation store: a three-peer fleet pointed at one cache
+// directory answers a duplicate incident on a *different* peer with zero
+// additional prefix simulations — the first peer's run paid for the whole
+// fleet. Submit() is used directly (no ring forwarding), so the second peer
+// genuinely executes a full engine run of its own; only the store makes it
+// free.
+func TestFleetStoreDedupAcrossPeers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node fleet; skipped in -short")
+	}
+	lns, addrs := newFleetListeners(t, 3)
+	fleetDir := t.TempDir()
+	cacheDir := t.TempDir() // the shared evaluation store, as -fleet-dir wires it
+	nodes := make([]*fleetNode, 3)
+	for i := range nodes {
+		peers := []string{}
+		for k, a := range addrs {
+			if k != i {
+				peers = append(peers, a)
+			}
+		}
+		nodes[i] = startFleetNode(t, service.Config{
+			StateDir: t.TempDir(),
+			CacheDir: cacheDir,
+		}, lns[i], addrs[i], peers, fleetDir)
+	}
+
+	req := service.JobRequest{Builtin: "figure2", Seed: 11, Strategy: "bruteforce"}
+
+	// Incident lands on peer 0: a cold store, so the run simulates.
+	jobA, err := nodes[0].srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitTerminal(t, nodes[0], jobA.ID)
+	if first.State != service.StateDone || first.Result == nil {
+		t.Fatalf("first run: state %s, error %q", first.State, first.Error)
+	}
+	if first.Result.PrefixSimulations == 0 || first.Result.StoreMisses == 0 {
+		t.Fatalf("first run should have simulated into a cold store: %+v", first.Result)
+	}
+
+	// The same incident strikes peer 2. Local submission, local run — but
+	// the store already holds every evaluation, fleet-wide.
+	jobB, err := nodes[2].srv.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitTerminal(t, nodes[2], jobB.ID)
+	if second.State != service.StateDone || second.Result == nil {
+		t.Fatalf("second run: state %s, error %q", second.State, second.Error)
+	}
+	if second.Result.PrefixSimulations != 0 {
+		t.Fatalf("duplicate incident on peer 2 still simulated %d prefixes; store dedup failed (%+v)",
+			second.Result.PrefixSimulations, second.Result)
+	}
+	if second.Result.StoreHits == 0 || second.Result.StoreMisses != 0 {
+		t.Fatalf("second run store counters: hits=%d misses=%d, want all hits",
+			second.Result.StoreHits, second.Result.StoreMisses)
+	}
+	if second.Result.CanonicalSHA256 != first.Result.CanonicalSHA256 {
+		t.Fatalf("store-answered run diverged: %s vs %s",
+			second.Result.CanonicalSHA256, first.Result.CanonicalSHA256)
+	}
+
+	// The store gauges surface the dedup on the answering node's /varz.
+	var varz map[string]int64
+	getFrom(t, addrs[2], "/varz", &varz)
+	if varz["store_hits"] == 0 {
+		t.Fatalf("varz store_hits = 0 after a fully store-answered run (%v)", varz)
+	}
+	if _, ok := varz["store_bytes"]; !ok {
+		t.Fatalf("varz lacks store_bytes gauge (%v)", varz)
+	}
+}

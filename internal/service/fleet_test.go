@@ -254,6 +254,17 @@ func TestFleetAdoptionResumesByteIdentical(t *testing.T) {
 		lns[0], addrs[0], []string{addrs[1]}, fleetDir)
 	_ = startFleetNode(t, service.Config{StateDir: stateB},
 		lns[1], addrs[1], []string{addrs[0]}, fleetDir)
+	// If an assertion fires while A's worker is still parked in the hook,
+	// unpark it before the node cleanups run — otherwise A's Shutdown waits
+	// on the parked worker forever and a plain failure becomes a package
+	// timeout. Registered after both nodes so it runs before their stops.
+	released := false
+	t.Cleanup(func() {
+		if !released {
+			released = true
+			close(release)
+		}
+	})
 
 	// Find a submission the ring places on node A. Submitting via node B
 	// exercises the forward path; A's journal hook then parks the run at
@@ -285,8 +296,10 @@ func TestFleetAdoptionResumesByteIdentical(t *testing.T) {
 	if victim.ID == "" {
 		t.Fatal("no submission was owned by node A in 32 seeds")
 	}
-	// Wait until A's worker holds the job mid-run.
-	deadline := time.Now().Add(30 * time.Second)
+	// Wait until A's worker holds the job mid-run. Generous deadline: on a
+	// small box under -race, node B grinding its share of the placement
+	// probes can starve A's worker well past 30s before it pops the victim.
+	deadline := time.Now().Add(120 * time.Second)
 	for {
 		var j service.Job
 		getFrom(t, addrs[0], "/v1/repairs/"+victim.ID+"?scope=local", &j)
@@ -313,6 +326,7 @@ func TestFleetAdoptionResumesByteIdentical(t *testing.T) {
 	// in fleet mode Shutdown first waits out the health/adopt loop ticks, so
 	// releasing immediately can race the cancel and let the run finish on A.
 	time.Sleep(time.Second)
+	released = true
 	close(release)
 	if err := <-done; err != nil {
 		t.Fatalf("drain A: %v", err)
@@ -320,7 +334,7 @@ func TestFleetAdoptionResumesByteIdentical(t *testing.T) {
 
 	// B: down-detection (3 x 50ms), adoption scan, resume, completion.
 	var adopted service.Job
-	deadline = time.Now().Add(60 * time.Second)
+	deadline = time.Now().Add(180 * time.Second)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get("http://" + addrs[1] + "/v1/repairs/" + victim.ID + "?scope=local")
 		if err != nil {

@@ -19,6 +19,7 @@ import (
 
 	"acr/internal/caseio"
 	"acr/internal/core"
+	"acr/internal/evalstore"
 	"acr/internal/journal"
 	"acr/internal/scenario"
 )
@@ -46,6 +47,15 @@ type Config struct {
 	// placed on a consistent-hash ring, leased while running, and adopted
 	// from peers that go down (acr serve -peers).
 	Fleet *FleetConfig
+	// CacheDir, when non-empty, opens a persistent evaluation store there
+	// and wires it under every job's in-memory cache, so repeated and
+	// duplicate incidents are answered from disk instead of re-simulated.
+	// In fleet mode the CLI points every peer at one shared directory. The
+	// store is advisory: corrupt or unreadable entries degrade to cache
+	// misses, never to failed jobs.
+	CacheDir string
+	// CacheMaxBytes bounds the store (<=0 means evalstore.DefaultMaxBytes).
+	CacheMaxBytes int64
 }
 
 // DefaultQueueCap is the admission-control bound when Config leaves
@@ -54,10 +64,11 @@ const DefaultQueueCap = 64
 
 // Server is the repair daemon: store + queue + worker pool + HTTP API.
 type Server struct {
-	cfg   Config
-	store *store
-	queue *queue
-	fleet *fleet // nil outside fleet mode
+	cfg       Config
+	store     *store
+	queue     *queue
+	fleet     *fleet           // nil outside fleet mode
+	evalStore *evalstore.Store // nil without Config.CacheDir
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -130,6 +141,14 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.fleet = f
 	}
+	if cfg.CacheDir != "" {
+		es, err := evalstore.Open(cfg.CacheDir, cfg.CacheMaxBytes)
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("open evaluation store %s: %w", cfg.CacheDir, err)
+		}
+		s.evalStore = es
+	}
 	return s, nil
 }
 
@@ -200,11 +219,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	go func() { s.wg.Wait(); close(done) }()
 	select {
 	case <-done:
+		s.closeEvalStore()
 		return nil
 	case <-ctx.Done():
 		s.cancelAll() // hard-cancel stragglers; journals stay resumable
 		<-done
+		s.closeEvalStore()
 		return ctx.Err()
+	}
+}
+
+// closeEvalStore marks the persistent evaluation store inert after the
+// worker pool has drained; late stragglers see misses, never errors.
+func (s *Server) closeEvalStore() {
+	if s.evalStore != nil {
+		s.evalStore.Close()
 	}
 }
 
@@ -690,6 +719,14 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	set("workers_busy", s.busyWorkers.Load())
 	set("candidates_validated", s.candidatesValidated.Load())
 	set("panics_quarantined", s.panicsQuarantined.Load())
+	if s.evalStore != nil {
+		st := s.evalStore.Stats()
+		set("store_hits", st.Hits)
+		set("store_misses", st.Misses)
+		set("store_corrupt", st.Corrupt)
+		set("store_evicted", st.Evicted)
+		set("store_bytes", st.Bytes)
+	}
 	if s.fleet != nil {
 		up, down := s.fleet.health.counts()
 		set("peers_up", int64(up))

@@ -100,6 +100,12 @@ func (s *Server) runJob(j *job) {
 	if opts.Parallelism <= 0 || opts.Parallelism > s.cfg.JobParallelism {
 		opts.Parallelism = s.cfg.JobParallelism
 	}
+	// Wire the shared persistent evaluation store under this job's cache.
+	// The nil check must stay on the concrete field: assigning a nil
+	// *evalstore.Store into the interface would make opts.Store non-nil.
+	if s.evalStore != nil {
+		opts.Store = s.evalStore
+	}
 	p := core.Problem{Topo: sc.Topo, Configs: sc.Configs, Intents: sc.Intents}
 
 	w, sess, err := s.openJournal(j, p, opts)
