@@ -530,7 +530,7 @@ func BenchmarkAblation_UniversalVsTable1(b *testing.B) {
 	for _, tc := range []struct {
 		name      string
 		templates []core.Template
-	}{{"table1-templates", nil}, {"universal-operators", core.UniversalTemplates()}} {
+	}{{"table1-templates", nil}, {"universal-operators", acr.UniversalTemplates()}} {
 		b.Run(tc.name, func(b *testing.B) {
 			var repaired, visible int
 			for i := 0; i < b.N; i++ {

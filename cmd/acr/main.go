@@ -16,6 +16,15 @@
 //	             [-peers <addr,addr,...> -fleet-dir <dir> [-advertise <addr>]
 //	              [-lease-ttl 15s] [-health-interval 1s]]
 //	acr cache    (stats|verify|gc) -cache-dir <dir> [-cache-max-bytes <n>] [-json]
+//	acr templates list [-json]
+//	acr templates describe [-json] <name>
+//	acr templates conform [-names a,b] [-seeds 1,2] [-max-iter 30] [-json]
+//	acr templates mine -pairs <dir> [-min-support 1] [-admit] [-json]
+//
+// templates is the CLI face of the change-template registry
+// (internal/tmplreg): list and describe the registered operators, run the
+// conformance admission harness (exit 1 when any template is rejected),
+// and mine candidate templates from historical before/after config diffs.
 //
 // lint exits 0 when clean, 1 when findings are at or above the -severity
 // threshold, and 2 when a configuration failed to parse.
@@ -80,6 +89,8 @@ func main() {
 		err = runServe(args)
 	case "cache":
 		err = runCache(args)
+	case "templates":
+		err = runTemplates(args)
 	default:
 		usage()
 		os.Exit(2)
@@ -95,7 +106,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair|serve|cache> [flags]
+	fmt.Fprintln(os.Stderr, `usage: acr <verify|simulate|lint|localize|repair|serve|cache|templates> [flags]
   -builtin figure2|figure2-repaired|dcn4|wan   use a built-in case
   -dir <casedir>                               load a case directory
 run "acr <cmd> -h" for command flags`)

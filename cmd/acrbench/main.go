@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|staticprune|all
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|staticprune|templates|all
 //	         [-size 48] [-seed 1] [-short] [-json BENCH_parallel.json]
 //	         [-json-staticprune BENCH_staticprune.json]
+//	         [-json-templates BENCH_templates.json]
 package main
 
 import (
@@ -29,12 +30,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, staticprune, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, staticprune, templates, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	flag.BoolVar(&flagShort, "short", false, "smaller workloads (CI smoke runs)")
 	flag.StringVar(&flagJSON, "json", "BENCH_parallel.json", "machine-readable output path for -exp parallel (empty = don't write)")
 	flag.StringVar(&flagJSONStatic, "json-staticprune", "BENCH_staticprune.json", "machine-readable output path for -exp staticprune (empty = don't write)")
+	flag.StringVar(&flagJSONTemplates, "json-templates", "BENCH_templates.json", "machine-readable output path for -exp templates (empty = don't write)")
 	flag.Parse()
 	run := func(name string, f func(int, int64)) {
 		if *exp == name || *exp == "all" {
@@ -60,6 +62,7 @@ func main() {
 		{"serve", serveExp},
 		{"parallel", parallelExp},
 		{"staticprune", staticPrune},
+		{"templates", templatesExp},
 	} {
 		if *exp == e.name || *exp == "all" {
 			ran = true

@@ -119,7 +119,7 @@ func parallelExp(size int, seed int64) {
 	// exactly the duplicate stream the cache exists to absorb (~40% of
 	// validations answer from the cache at 10 iterations).
 	widening := benchCase{"wan-wrong-asn", wrongASNWAN,
-		acr.RepairOptions{Seed: seed, MaxIterations: 10, Templates: core.UniversalTemplates()}}
+		acr.RepairOptions{Seed: seed, MaxIterations: 10, Templates: acr.UniversalTemplates()}}
 	cases = append(cases, widening)
 
 	rep := parallelReport{

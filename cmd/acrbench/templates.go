@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"acr/internal/core"
+	"acr/internal/incidents"
+	"acr/internal/tmplreg"
+	"acr/internal/tmplreg/conformance"
+	"acr/internal/tmplreg/mine"
+)
+
+// flagJSONTemplates names the machine-readable output of -exp templates.
+var flagJSONTemplates string
+
+// minedPairsDir is the held-out historical-diff corpus the miner learns
+// from (repo-relative; the experiment skips the ablation when absent).
+const minedPairsDir = "internal/tmplreg/mine/testdata"
+
+// templateAblationRow compares the builtin library against mined-only
+// templates over incidents of one error class.
+type templateAblationRow struct {
+	Class           string  `json:"class"`
+	Incidents       int     `json:"incidents"`
+	BuiltinRepaired int     `json:"builtinRepaired"`
+	MinedRepaired   int     `json:"minedRepaired"`
+	BuiltinIters    float64 `json:"builtinMeanIterations"`
+	MinedIters      float64 `json:"minedMeanIterations"`
+}
+
+// templatesReport is the BENCH_templates.json schema: the full conformance
+// table over the builtin registry plus the mined-vs-builtin ablation,
+// kept as a baseline for future registry changes.
+type templatesReport struct {
+	GeneratedAt    string                       `json:"generatedAt"`
+	GoVersion      string                       `json:"goVersion"`
+	Seed           int64                        `json:"seed"`
+	RegistryDigest string                       `json:"registryDigest"`
+	Conformance    []conformance.TemplateResult `json:"conformance"`
+	MinedAdmitted  []string                     `json:"minedAdmitted"`
+	Ablation       []templateAblationRow        `json:"ablation,omitempty"`
+}
+
+// templatesExp regenerates the template-registry experiment: (1) the
+// conformance table — every builtin template run by the admission harness
+// against injected incidents of its own declared class; (2) the
+// mined-vs-builtin ablation — incidents of the classes the miner learned
+// from the held-out diff corpus, repaired once with the full builtin
+// library and once with ONLY the mined templates, comparing repair rate
+// and search effort. The mined library matching the builtin repair rate on
+// its classes is the evidence that diff mining recovers working operators.
+func templatesExp(size int, seed int64) {
+	copts := conformance.Options{Seeds: []int64{seed, seed + 1}, MaxIterations: 30}
+	if flagShort {
+		copts.Seeds = []int64{seed}
+	}
+	reg := tmplreg.NewBuiltin()
+	rep, err := conformance.Run(reg, copts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrbench:", err)
+		os.Exit(1)
+	}
+	out := templatesReport{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		Seed:           seed,
+		RegistryDigest: reg.Digest(),
+		Conformance:    rep.Results,
+	}
+	fmt.Printf("conformance over registry %.12s (%d templates)\n", reg.Digest(), len(rep.Results))
+	fmt.Printf("%-6s %-29s %-42s %-10s %s\n", "", "Template", "Class", "Provenance", "Repaired")
+	for _, tr := range rep.Results {
+		verdict := "PASS"
+		if !tr.Conformant {
+			verdict = "FAIL"
+		}
+		fmt.Printf("%-6s %-29s %-42s %-10s %d/%d\n", verdict, tr.Name, tr.Class, tr.Provenance, tr.Repaired, tr.Attempts)
+	}
+
+	// Mined-vs-builtin ablation over the classes the miner learned.
+	pairs, err := mine.LoadDir(minedPairsDir)
+	if err != nil {
+		fmt.Printf("\nablation skipped: %v (run from the repository root)\n", err)
+		writeTemplatesJSON(out)
+		return
+	}
+	cands, err := mine.Mine(pairs, mine.Options{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrbench:", err)
+		os.Exit(1)
+	}
+	admitted, _, err := mine.Admit(reg, cands, copts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrbench:", err)
+		os.Exit(1)
+	}
+	out.MinedAdmitted = admitted
+	fmt.Printf("\nmined %d candidate(s) from %s, admitted %v\n", len(cands), minedPairsDir, admitted)
+
+	perClass := 8
+	if flagShort {
+		perClass = 3
+	}
+	builtinLib := reg.EngineTemplates()
+	for _, c := range cands {
+		name := c.Meta.Name
+		isAdmitted := false
+		for _, a := range admitted {
+			isAdmitted = isAdmitted || a == name
+		}
+		if !isAdmitted {
+			continue
+		}
+		minedLib, err := reg.Resolve(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		ic, ok := incidents.ByClass(c.Meta.Class)
+		if !ok {
+			continue
+		}
+		row := templateAblationRow{Class: string(c.Meta.Class)}
+		var bIters, mIters int
+		for i := 0; i < perClass; i++ {
+			inc, err := incidents.InjectVariant(ic, 0, incidents.CorpusOptions{}, rand.New(rand.NewSource(seed+int64(i))))
+			if err != nil || !incidents.Visible(inc) {
+				continue
+			}
+			row.Incidents++
+			p := core.Problem{Topo: inc.Scenario.Topo, Configs: inc.Scenario.Configs, Intents: inc.Scenario.Intents}
+			b := core.Repair(p, core.Options{Templates: builtinLib, MaxIterations: 40, Seed: seed + int64(i)})
+			m := core.Repair(p, core.Options{Templates: minedLib, MaxIterations: 40, Seed: seed + int64(i)})
+			if b.Feasible {
+				row.BuiltinRepaired++
+			}
+			if m.Feasible {
+				row.MinedRepaired++
+			}
+			bIters += b.Iterations
+			mIters += m.Iterations
+		}
+		if row.Incidents > 0 {
+			row.BuiltinIters = float64(bIters) / float64(row.Incidents)
+			row.MinedIters = float64(mIters) / float64(row.Incidents)
+		}
+		out.Ablation = append(out.Ablation, row)
+	}
+	fmt.Printf("%-42s %-10s %-16s %-16s %-10s %s\n", "Class", "Incidents", "Builtin repairs", "Mined repairs", "Iter(b)", "Iter(m)")
+	for _, r := range out.Ablation {
+		fmt.Printf("%-42s %-10d %-16d %-16d %-10.1f %.1f\n",
+			r.Class, r.Incidents, r.BuiltinRepaired, r.MinedRepaired, r.BuiltinIters, r.MinedIters)
+	}
+	writeTemplatesJSON(out)
+}
+
+func writeTemplatesJSON(out templatesReport) {
+	if flagJSONTemplates == "" {
+		return
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "acrbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(flagJSONTemplates, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "acrbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", flagJSONTemplates)
+}

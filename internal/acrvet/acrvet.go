@@ -84,8 +84,15 @@ func (c *checker) Import(path string) (*types.Package, error) {
 	return p, nil
 }
 
-// load parses and type-checks one module-internal package.
+// load parses and type-checks one module-internal package. It is
+// idempotent: a package already checked (listed earlier, or pulled in as a
+// dependency) returns the cached *types.Package, never a second identity —
+// re-checking would make types like verify.Intent unequal to themselves
+// across the two copies and fail every downstream importer.
 func (c *checker) load(path string) (*types.Package, error) {
+	if p, ok := c.cache[path]; ok {
+		return p, nil
+	}
 	dir := filepath.Join(c.root, strings.TrimPrefix(path, c.modPath))
 	if path == c.modPath {
 		dir = c.root
@@ -205,15 +212,19 @@ func Run(root string, pkgs []string) ([]Finding, error) {
 }
 
 // DefaultPackages is the merge-path package set CI vets: the engine, the
-// verifier, the impact/lint analyzers, the journal, and the persistent
-// evaluation store — everything whose output feeds Canonical(), the
-// write-ahead journal, or the store the engine reads evaluations from.
+// verifier, the impact/lint analyzers, the journal, the persistent
+// evaluation store, and the template registry — everything whose output
+// feeds Canonical(), the write-ahead journal, the store the engine reads
+// evaluations from, or the search digest journals resume under.
 var DefaultPackages = []string{
 	"internal/core",
 	"internal/verify",
 	"internal/analysis",
 	"internal/journal",
 	"internal/evalstore",
+	"internal/tmplreg",
+	"internal/tmplreg/conformance",
+	"internal/tmplreg/mine",
 }
 
 func (c *checker) pos(n ast.Node) string {

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 	"acr/internal/topo"
 )
@@ -68,7 +69,7 @@ func ParseSeverity(s string) (Severity, error) {
 type Diagnostic struct {
 	Line     netcfg.LineRef   `json:"line"`
 	Analyzer string           `json:"analyzer"`
-	Class    string           `json:"class,omitempty"`
+	Class    errclass.Class   `json:"class,omitempty"`
 	Severity Severity         `json:"severity"`
 	Message  string           `json:"message"`
 	Related  []netcfg.LineRef `json:"related,omitempty"`
@@ -87,9 +88,10 @@ type Analyzer struct {
 	// Doc is a one-line description.
 	Doc string
 	// Class is the Table 1 misconfiguration class this analyzer's
-	// diagnostics indicate, matching Template.ErrorClass strings in
-	// internal/core (empty for generic hygiene checks).
-	Class string
+	// diagnostics indicate (empty for generic hygiene checks). The shared
+	// errclass constants guarantee it matches Template.ErrorClass in
+	// internal/core.
+	Class errclass.Class
 	// Run performs the analysis.
 	Run func(*Pass)
 }

@@ -5,25 +5,28 @@ import (
 	"net/netip"
 	"sort"
 
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 )
 
 // sprintf keeps message construction in the analyzer bodies terse.
 var sprintf = fmt.Sprintf
 
-// Table 1 error classes, spelled exactly as the change templates in
-// internal/core report them — the engine matches Diagnostic.Class against
-// Template.ErrorClass when pruning candidates.
+// Table 1 error classes — aliases of the shared typed constants in
+// internal/errclass, kept under their historical analysis names. The
+// engine matches Diagnostic.Class against Template.ErrorClass when
+// pruning candidates; sharing one constant per class makes a spelling
+// drift a compile error instead of a silently dead prior.
 const (
-	ClassMissingRedistribution = "Missing redistribution of static route"
-	ClassMissingPBRPermit      = "Missing permit rules in PBR"
-	ClassExtraPBRRedirect      = "Extra redirect rule in PBR"
-	ClassMissingPeerGroup      = "Missing peer group"
-	ClassExtraPeerGroupItem    = "Extra items in peer group"
-	ClassMissingRoutingPolicy  = "Missing a routing policy"
-	ClassLeftoverRouteMap      = "Fail to dis-enable route map"
-	ClassWrongASNumber         = "Override to wrong AS number"
-	ClassMissingPrefixListItem = "Missing items in ip prefix-list"
+	ClassMissingRedistribution = errclass.MissingRedistribution
+	ClassMissingPBRPermit      = errclass.MissingPBRPermit
+	ClassExtraPBRRedirect      = errclass.ExtraPBRRedirect
+	ClassMissingPeerGroup      = errclass.MissingPeerGroup
+	ClassExtraPeerGroupItem    = errclass.ExtraPeerGroupItem
+	ClassMissingRoutingPolicy  = errclass.MissingRoutingPolicy
+	ClassLeftoverRouteMap      = errclass.LeftoverRouteMap
+	ClassWrongASNumber         = errclass.WrongASNumber
+	ClassMissingPrefixListItem = errclass.MissingPrefixListItem
 )
 
 // DanglingPolicyRef flags route-policy attachments (peer, peer-group, or

@@ -1,0 +1,439 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"acr/internal/netcfg"
+)
+
+// This file implements the historical-diff face of the semantic AST diff:
+// where impact.go interprets a diff forward (what can this edit influence?),
+// SemanticDiff reports the diff itself as a stream of typed facts — "this
+// device gained a redistribute statement", "this peer's remote AS changed
+// from 64520 to 63000". The template miner (internal/tmplreg/mine)
+// consumes these facts from before/after pairs of historical repairs and
+// generalizes recurring fact shapes into parameterized change templates.
+// Both passes share the semantic accessors at the bottom of impact.go, so
+// the two views of "what changed" can never drift apart.
+
+// FactKind classifies one semantic difference between two configuration
+// versions of a device.
+type FactKind string
+
+// The fact vocabulary. Each kind names the construct that appeared,
+// vanished, or changed — line numbers and formatting are invisible here.
+const (
+	FactRedistributeAdded   FactKind = "redistribute-added"
+	FactRedistributeRemoved FactKind = "redistribute-removed"
+	FactStaticAdded         FactKind = "static-added"
+	FactStaticRemoved       FactKind = "static-removed"
+	FactNetworkAdded        FactKind = "network-added"
+	FactNetworkRemoved      FactKind = "network-removed"
+	FactPeerAdded           FactKind = "peer-added"
+	FactPeerRemoved         FactKind = "peer-removed"
+	FactPeerASNChanged      FactKind = "peer-asn-changed"
+	FactMembershipChanged   FactKind = "group-membership-changed"
+	FactGroupPolicyAttached FactKind = "group-policy-attached"
+	FactGroupPolicyDetached FactKind = "group-policy-detached"
+	FactPolicyDefined       FactKind = "policy-defined"
+	FactPolicyRemoved       FactKind = "policy-removed"
+	FactPolicyNodeChanged   FactKind = "policy-node-changed"
+	FactListEntryAdded      FactKind = "prefix-list-entry-added"
+	FactListEntryRemoved    FactKind = "prefix-list-entry-removed"
+	FactPBRChanged          FactKind = "pbr-changed"
+)
+
+// Fact is one semantic difference, with the identifying construct fields
+// its kind uses (the rest stay zero).
+type Fact struct {
+	Kind   FactKind `json:"kind"`
+	Device string   `json:"device"`
+	// Name identifies the construct: policy, group, or prefix-list name.
+	Name string `json:"name,omitempty"`
+	// Prefix carries origination/static/list-entry prefixes.
+	Prefix netip.Prefix `json:"prefix,omitempty"`
+	// Addr carries the peer address for session facts.
+	Addr netip.Addr `json:"addr,omitempty"`
+	// OldASN/NewASN carry the AS change for peer-asn-changed.
+	OldASN uint32 `json:"oldASN,omitempty"`
+	NewASN uint32 `json:"newASN,omitempty"`
+	// Direction qualifies policy attach/detach facts.
+	Direction string `json:"direction,omitempty"`
+	// Detail is the human-readable rendering (also the sort tiebreaker).
+	Detail string `json:"detail,omitempty"`
+}
+
+// String renders the fact compactly.
+func (f Fact) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Device, f.Kind, f.Detail)
+}
+
+// SemanticDiff compares two parsed configuration sets and returns the
+// semantic facts distinguishing them, sorted by device, kind, then detail.
+// Devices present in only one version contribute whole-file facts for
+// every construct they carry. Line positions never influence the output:
+// reformatting or reordering without semantic change yields no facts.
+func SemanticDiff(before, after map[string]*netcfg.File) []Fact {
+	devices := map[string]bool{}
+	for d := range before { //acrvet:ordered — collected then sorted below
+		devices[d] = true
+	}
+	for d := range after { //acrvet:ordered — collected then sorted below
+		devices[d] = true
+	}
+	names := make([]string, 0, len(devices))
+	for d := range devices { //acrvet:ordered — collected then sorted below
+		names = append(names, d)
+	}
+	sort.Strings(names)
+
+	var facts []Fact
+	for _, dev := range names {
+		f0, f1 := before[dev], after[dev]
+		if f0 == nil {
+			f0 = &netcfg.File{Device: dev}
+		}
+		if f1 == nil {
+			f1 = &netcfg.File{Device: dev}
+		}
+		facts = append(facts, diffDeviceFacts(dev, f0, f1)...)
+	}
+	sort.SliceStable(facts, func(i, j int) bool {
+		if facts[i].Device != facts[j].Device {
+			return facts[i].Device < facts[j].Device
+		}
+		if facts[i].Kind != facts[j].Kind {
+			return facts[i].Kind < facts[j].Kind
+		}
+		return facts[i].Detail < facts[j].Detail
+	})
+	return facts
+}
+
+func diffDeviceFacts(dev string, f0, f1 *netcfg.File) []Fact {
+	var out []Fact
+	add := func(f Fact) {
+		f.Device = dev
+		out = append(out, f)
+	}
+
+	// Redistribution (shared accessor with impact.go's diffOriginations).
+	r0, p0 := redistOf(f0.BGP)
+	r1, p1 := redistOf(f1.BGP)
+	switch {
+	case !r0 && r1:
+		add(Fact{Kind: FactRedistributeAdded, Name: p1, Detail: "redistribute static" + policySuffix(p1)})
+	case r0 && !r1:
+		add(Fact{Kind: FactRedistributeRemoved, Name: p0, Detail: "redistribute static" + policySuffix(p0)})
+	case r0 && r1 && p0 != p1:
+		add(Fact{Kind: FactRedistributeRemoved, Name: p0, Detail: "redistribute static" + policySuffix(p0)})
+		add(Fact{Kind: FactRedistributeAdded, Name: p1, Detail: "redistribute static" + policySuffix(p1)})
+	}
+
+	// Statics, as multisets.
+	s0 := staticSet(f0)
+	s1 := staticSet(f1)
+	forEachStatic(s0, func(k staticKey, c int) {
+		if s1[k] < c {
+			add(Fact{Kind: FactStaticRemoved, Prefix: k.prefix, Detail: "ip route static " + k.prefix.String()})
+		}
+	})
+	forEachStatic(s1, func(k staticKey, c int) {
+		if s0[k] < c {
+			add(Fact{Kind: FactStaticAdded, Prefix: k.prefix, Detail: "ip route static " + k.prefix.String()})
+		}
+	})
+
+	// Network statements.
+	n0 := networkSet(f0.BGP)
+	n1 := networkSet(f1.BGP)
+	forEachPrefix(n0, func(p netip.Prefix, c int) {
+		if n1[p] < c {
+			add(Fact{Kind: FactNetworkRemoved, Prefix: p, Detail: "network " + p.String()})
+		}
+	})
+	forEachPrefix(n1, func(p netip.Prefix, c int) {
+		if n0[p] < c {
+			add(Fact{Kind: FactNetworkAdded, Prefix: p, Detail: "network " + p.String()})
+		}
+	})
+
+	// Peers: presence, remote AS, group membership.
+	out = append(out, diffPeerFacts(dev, f0, f1)...)
+
+	// Group policy attachments.
+	out = append(out, diffGroupFacts(dev, f0, f1)...)
+
+	// Policy definitions and node bodies.
+	out = append(out, diffPolicyFacts(dev, f0, f1)...)
+
+	// Prefix-list entries, as per-name multisets (shared encoder).
+	out = append(out, diffListFacts(dev, f0, f1)...)
+
+	// PBR: a single opaque changed fact (the miner does not generalize PBR
+	// yet; the encoder keeps the comparison semantic).
+	if encodePBR(f0) != encodePBR(f1) {
+		out = append(out, Fact{Kind: FactPBRChanged, Device: dev, Detail: "pbr policies differ"})
+	}
+	return out
+}
+
+func diffPeerFacts(dev string, f0, f1 *netcfg.File) []Fact {
+	var out []Fact
+	b0, b1 := f0.BGP, f1.BGP
+	if b0 == nil && b1 == nil {
+		return nil
+	}
+	peers := func(b *netcfg.BGPBlock) map[netip.Addr]*netcfg.Peer {
+		if b == nil {
+			return map[netip.Addr]*netcfg.Peer{}
+		}
+		m, _ := peersByAddr(b)
+		return m
+	}
+	m0, m1 := peers(b0), peers(b1)
+	addrs := map[netip.Addr]bool{}
+	for a := range m0 { //acrvet:ordered — collected then sorted below
+		addrs[a] = true
+	}
+	for a := range m1 { //acrvet:ordered — collected then sorted below
+		addrs[a] = true
+	}
+	sorted := make([]netip.Addr, 0, len(addrs))
+	for a := range addrs { //acrvet:ordered — collected then sorted below
+		sorted = append(sorted, a)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Less(sorted[j]) })
+	for _, a := range sorted {
+		q0, q1 := m0[a], m1[a]
+		switch {
+		case q0 == nil:
+			out = append(out, Fact{Kind: FactPeerAdded, Device: dev, Addr: a, NewASN: q1.ASN,
+				Detail: fmt.Sprintf("peer %s as-number %d", a, q1.ASN)})
+		case q1 == nil:
+			out = append(out, Fact{Kind: FactPeerRemoved, Device: dev, Addr: a, OldASN: q0.ASN,
+				Detail: fmt.Sprintf("peer %s as-number %d", a, q0.ASN)})
+		default:
+			if q0.ASN != q1.ASN {
+				out = append(out, Fact{Kind: FactPeerASNChanged, Device: dev, Addr: a,
+					OldASN: q0.ASN, NewASN: q1.ASN,
+					Detail: fmt.Sprintf("peer %s as-number %d -> %d", a, q0.ASN, q1.ASN)})
+			}
+			if q0.Group != q1.Group {
+				out = append(out, Fact{Kind: FactMembershipChanged, Device: dev, Addr: a, Name: q1.Group,
+					Detail: fmt.Sprintf("peer %s group %q -> %q", a, q0.Group, q1.Group)})
+			}
+		}
+	}
+	return out
+}
+
+func diffGroupFacts(dev string, f0, f1 *netcfg.File) []Fact {
+	var out []Fact
+	groups := func(f *netcfg.File) map[string]*netcfg.PeerGroup {
+		if f.BGP == nil {
+			return map[string]*netcfg.PeerGroup{}
+		}
+		m, _ := groupsByName(f.BGP)
+		return m
+	}
+	g0, g1 := groups(f0), groups(f1)
+	names := map[string]bool{}
+	for n := range g0 { //acrvet:ordered — collected then sorted below
+		names[n] = true
+	}
+	for n := range g1 { //acrvet:ordered — collected then sorted below
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names { //acrvet:ordered — collected then sorted below
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	attKey := func(a *netcfg.PolicyAttach) string { return a.Policy + "|" + a.Direction.String() }
+	for _, name := range sorted {
+		var a0, a1 []*netcfg.PolicyAttach
+		if g0[name] != nil {
+			a0 = g0[name].Policies
+		}
+		if g1[name] != nil {
+			a1 = g1[name].Policies
+		}
+		c1 := map[string]int{}
+		for _, a := range a1 {
+			c1[attKey(a)]++
+		}
+		c0 := map[string]int{}
+		for _, a := range a0 {
+			c0[attKey(a)]++
+		}
+		for _, a := range a0 {
+			k := attKey(a)
+			if c1[k] > 0 {
+				c1[k]--
+				c0[k]--
+				continue
+			}
+		}
+		for _, a := range a0 {
+			if c0[attKey(a)] > 0 {
+				c0[attKey(a)]--
+				out = append(out, Fact{Kind: FactGroupPolicyDetached, Device: dev, Name: name,
+					Direction: a.Direction.String(),
+					Detail:    fmt.Sprintf("group %s route-policy %s %s", name, a.Policy, a.Direction)})
+			}
+		}
+		for _, a := range a1 {
+			if c1[attKey(a)] > 0 {
+				c1[attKey(a)]--
+				out = append(out, Fact{Kind: FactGroupPolicyAttached, Device: dev, Name: name,
+					Direction: a.Direction.String(),
+					Detail:    fmt.Sprintf("group %s route-policy %s %s", name, a.Policy, a.Direction)})
+			}
+		}
+	}
+	return out
+}
+
+func diffPolicyFacts(dev string, f0, f1 *netcfg.File) []Fact {
+	var out []Fact
+	idx := func(f *netcfg.File) map[string][]*netcfg.RoutePolicy {
+		m := map[string][]*netcfg.RoutePolicy{}
+		for _, p := range f.Policies {
+			m[p.Name] = append(m[p.Name], p)
+		}
+		return m
+	}
+	m0, m1 := idx(f0), idx(f1)
+	names := map[string]bool{}
+	for n := range m0 { //acrvet:ordered — collected then sorted below
+		names[n] = true
+	}
+	for n := range m1 { //acrvet:ordered — collected then sorted below
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names { //acrvet:ordered — collected then sorted below
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		p0, p1 := m0[name], m1[name]
+		switch {
+		case len(p0) == 0:
+			out = append(out, Fact{Kind: FactPolicyDefined, Device: dev, Name: name,
+				Detail: fmt.Sprintf("route-policy %s (%d nodes)", name, len(p1))})
+		case len(p1) == 0:
+			out = append(out, Fact{Kind: FactPolicyRemoved, Device: dev, Name: name,
+				Detail: fmt.Sprintf("route-policy %s (%d nodes)", name, len(p0))})
+		default:
+			if !eqPolicyNodes(p0, p1) {
+				out = append(out, Fact{Kind: FactPolicyNodeChanged, Device: dev, Name: name,
+					Detail: "route-policy " + name + " nodes differ"})
+			}
+		}
+	}
+	return out
+}
+
+func eqPolicyNodes(a, b []*netcfg.RoutePolicy) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Node != b[i].Node || !eqPolicyNode(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func diffListFacts(dev string, f0, f1 *netcfg.File) []Fact {
+	var out []Fact
+	names := map[string]bool{}
+	for _, e := range f0.PrefixLists {
+		names[e.Name] = true
+	}
+	for _, e := range f1.PrefixLists {
+		names[e.Name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names { //acrvet:ordered — collected then sorted below
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	for _, name := range sorted {
+		e0 := encodeEntries(f0.PrefixListEntries(name))
+		e1 := encodeEntries(f1.PrefixListEntries(name))
+		keys := map[string]bool{}
+		for k := range e0 { //acrvet:ordered — collected then sorted below
+			keys[k] = true
+		}
+		for k := range e1 { //acrvet:ordered — collected then sorted below
+			keys[k] = true
+		}
+		ks := make([]string, 0, len(keys))
+		for k := range keys { //acrvet:ordered — collected then sorted below
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		for _, k := range ks {
+			c0, c1 := 0, 0
+			var entry *netcfg.PrefixList
+			if e0[k] != nil {
+				c0, entry = e0[k].count, e0[k].entry
+			}
+			if e1[k] != nil {
+				c1, entry = e1[k].count, e1[k].entry
+			}
+			switch {
+			case c1 > c0:
+				out = append(out, Fact{Kind: FactListEntryAdded, Device: dev, Name: name, Prefix: entry.Prefix,
+					Detail: fmt.Sprintf("ip prefix-list %s index %d %s", name, entry.Index, entry.Prefix)})
+			case c0 > c1:
+				out = append(out, Fact{Kind: FactListEntryRemoved, Device: dev, Name: name, Prefix: entry.Prefix,
+					Detail: fmt.Sprintf("ip prefix-list %s index %d %s", name, entry.Index, entry.Prefix)})
+			}
+		}
+	}
+	return out
+}
+
+func policySuffix(policy string) string {
+	if policy == "" {
+		return ""
+	}
+	return " route-policy " + policy
+}
+
+func forEachStatic(m map[staticKey]int, f func(staticKey, int)) {
+	keys := make([]staticKey, 0, len(m))
+	for k := range m { //acrvet:ordered — collected then sorted below
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].prefix != keys[j].prefix {
+			if keys[i].prefix.Addr() != keys[j].prefix.Addr() {
+				return keys[i].prefix.Addr().Less(keys[j].prefix.Addr())
+			}
+			return keys[i].prefix.Bits() < keys[j].prefix.Bits()
+		}
+		return keys[i].nextHop.Less(keys[j].nextHop)
+	})
+	for _, k := range keys {
+		f(k, m[k])
+	}
+}
+
+func forEachPrefix(m map[netip.Prefix]int, f func(netip.Prefix, int)) {
+	keys := make([]netip.Prefix, 0, len(m))
+	for k := range m { //acrvet:ordered — collected then sorted below
+		keys = append(keys, k)
+	}
+	sortPrefixes(keys)
+	for _, k := range keys {
+		f(k, m[k])
+	}
+}

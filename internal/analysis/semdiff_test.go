@@ -1,0 +1,147 @@
+package analysis_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"acr/internal/analysis"
+	"acr/internal/netcfg"
+)
+
+func parseSet(t *testing.T, texts map[string]string) map[string]*netcfg.File {
+	t.Helper()
+	out := map[string]*netcfg.File{}
+	for dev, text := range texts {
+		out[dev] = parse(t, dev, text)
+	}
+	return out
+}
+
+// TestSemanticDiffFactKinds: one before/after pair exercising most of the
+// fact vocabulary — the diff the template miner learns from must name every
+// construct change precisely.
+func TestSemanticDiffFactKinds(t *testing.T) {
+	before := strings.Join([]string{
+		"bgp 65001",
+		" router-id 1.0.0.1",
+		" redistribute static route-policy Export",
+		" peer 10.0.0.2 as-number 65002",
+		" peer 10.0.0.3 as-number 65003",
+		" peer 10.0.0.3 group EDGE",
+		" peer-group EDGE route-policy NoLeak export",
+		" network 10.1.0.0/16",
+		"route-policy NoLeak permit node 10",
+		"route-policy Export permit node 10",
+		"ip prefix-list pl index 10 permit 10.1.0.0/16",
+		"ip prefix-list pl index 20 permit 10.2.0.0/16",
+		"ip route static 10.1.0.0/16 null0",
+		"ip route static 10.9.0.0/16 null0",
+	}, "\n")
+	after := strings.Join([]string{
+		"bgp 65001",
+		" router-id 1.0.0.1",
+		" peer 10.0.0.2 as-number 65099",
+		" peer 10.0.0.3 as-number 65003",
+		" peer 10.0.0.3 group EDGE",
+		" peer 10.0.0.4 as-number 65004",
+		" network 10.1.0.0/16",
+		"route-policy NoLeak permit node 10",
+		"ip prefix-list pl index 10 permit 10.1.0.0/16",
+		"ip route static 10.1.0.0/16 null0",
+	}, "\n")
+
+	facts := analysis.SemanticDiff(
+		parseSet(t, map[string]string{"X": before}),
+		parseSet(t, map[string]string{"X": after}),
+	)
+	got := map[analysis.FactKind]int{}
+	for _, f := range facts {
+		if f.Device != "X" {
+			t.Errorf("fact on unexpected device: %v", f)
+		}
+		got[f.Kind]++
+	}
+	want := map[analysis.FactKind]int{
+		analysis.FactRedistributeRemoved: 1,
+		analysis.FactPeerASNChanged:      1,
+		analysis.FactPeerAdded:           1,
+		analysis.FactGroupPolicyDetached: 1,
+		analysis.FactPolicyRemoved:       1,
+		analysis.FactListEntryRemoved:    1,
+		analysis.FactStaticRemoved:       1,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("fact kinds = %v, want %v\nfacts: %v", got, want, facts)
+	}
+	for _, f := range facts {
+		switch f.Kind {
+		case analysis.FactPeerASNChanged:
+			if f.OldASN != 65002 || f.NewASN != 65099 || f.Addr.String() != "10.0.0.2" {
+				t.Errorf("asn-changed fact malformed: %+v", f)
+			}
+		case analysis.FactGroupPolicyDetached:
+			if f.Name != "EDGE" || f.Direction != "export" || !strings.Contains(f.Detail, "NoLeak") {
+				t.Errorf("detach fact malformed: %+v", f)
+			}
+		case analysis.FactStaticRemoved:
+			if f.Prefix.String() != "10.9.0.0/16" {
+				t.Errorf("static fact malformed: %+v", f)
+			}
+		case analysis.FactRedistributeRemoved:
+			if f.Name != "Export" {
+				t.Errorf("redistribute fact should carry its policy: %+v", f)
+			}
+		}
+	}
+}
+
+// TestSemanticDiffIgnoresLayout: reordering top-level constructs moves
+// every line number but changes nothing semantic — zero facts.
+func TestSemanticDiffIgnoresLayout(t *testing.T) {
+	a := strings.Join([]string{
+		"ip route static 10.1.0.0/16 null0",
+		"ip route static 10.9.0.0/16 null0",
+		"route-policy P permit node 10",
+		"bgp 65001",
+		" peer 10.0.0.2 as-number 65002",
+		" redistribute static",
+	}, "\n")
+	b := strings.Join([]string{
+		"route-policy P permit node 10",
+		"bgp 65001",
+		" redistribute static",
+		" peer 10.0.0.2 as-number 65002",
+		"ip route static 10.9.0.0/16 null0",
+		"ip route static 10.1.0.0/16 null0",
+	}, "\n")
+	facts := analysis.SemanticDiff(
+		parseSet(t, map[string]string{"X": a}),
+		parseSet(t, map[string]string{"X": b}),
+	)
+	if len(facts) != 0 {
+		t.Errorf("layout-only change produced facts: %v", facts)
+	}
+}
+
+// TestSemanticDiffDeviceScope: a device present on only one side reports
+// its constructs as whole-file facts, and multi-device output is sorted by
+// device then kind then detail — the determinism the miner's pattern
+// grouping depends on.
+func TestSemanticDiffDeviceScope(t *testing.T) {
+	before := parseSet(t, map[string]string{
+		"B": "bgp 65002\n peer 10.0.0.1 as-number 65001",
+	})
+	after := parseSet(t, map[string]string{
+		"A": "ip route static 10.1.0.0/16 null0",
+		"B": "bgp 65002\n peer 10.0.0.1 as-number 65001",
+	})
+	facts := analysis.SemanticDiff(before, after)
+	if len(facts) != 1 || facts[0].Device != "A" || facts[0].Kind != analysis.FactStaticAdded {
+		t.Fatalf("facts = %v", facts)
+	}
+	again := analysis.SemanticDiff(before, after)
+	if !reflect.DeepEqual(facts, again) {
+		t.Error("SemanticDiff is not deterministic")
+	}
+}

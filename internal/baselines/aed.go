@@ -9,6 +9,7 @@ import (
 	"acr/internal/core"
 	"acr/internal/netcfg"
 	"acr/internal/sbfl"
+	"acr/internal/tmplreg"
 	"acr/internal/verify"
 )
 
@@ -32,7 +33,7 @@ func (o AEDOptions) withDefaults() AEDOptions {
 		o.MaxCombo = 2
 	}
 	if o.Templates == nil {
-		o.Templates = core.DefaultTemplates()
+		o.Templates = tmplreg.Default.EngineTemplates()
 	}
 	return o
 }

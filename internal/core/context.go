@@ -7,6 +7,7 @@ import (
 	"acr/internal/analysis"
 	"acr/internal/bgp"
 	"acr/internal/coverage"
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 	"acr/internal/provenance"
 	"acr/internal/sbfl"
@@ -42,7 +43,7 @@ type Context struct {
 	// DiagClasses maps each diagnosed line to the set of Table 1 error
 	// classes flagged there — the generation stage prunes templates whose
 	// ErrorClass does not match.
-	DiagClasses map[netcfg.LineRef]map[string]bool
+	DiagClasses map[netcfg.LineRef]map[errclass.Class]bool
 	// PriorSeeded counts statically flagged lines that no sampled test
 	// covered and were injected into Ranks with the prior as score.
 	PriorSeeded int
@@ -96,13 +97,13 @@ func buildContext(p Problem, iv *verify.Incremental, formula sbfl.Formula, rng *
 		res := analysis.AnalyzeFiles(p.Topo, ctx.Configs, ctx.Files, nil)
 		if len(res.Diagnostics) > 0 {
 			ctx.Diags = res.Diagnostics
-			ctx.DiagClasses = map[netcfg.LineRef]map[string]bool{}
+			ctx.DiagClasses = map[netcfg.LineRef]map[errclass.Class]bool{}
 			prior := map[netcfg.LineRef]float64{}
 			for i := range res.Diagnostics {
 				d := &res.Diagnostics[i]
 				if d.Class != "" {
 					if ctx.DiagClasses[d.Line] == nil {
-						ctx.DiagClasses[d.Line] = map[string]bool{}
+						ctx.DiagClasses[d.Line] = map[errclass.Class]bool{}
 					}
 					ctx.DiagClasses[d.Line][d.Class] = true
 				}
@@ -173,9 +174,22 @@ type Update struct {
 type Template interface {
 	Name() string
 	// ErrorClass is the Table 1 misconfiguration class this template
-	// repairs, for reports.
-	ErrorClass() string
+	// repairs — the static prior prunes applications whose anchor line
+	// carries a diagnostic of a different class.
+	ErrorClass() errclass.Class
 	// Generate produces candidates anchored at the given suspicious line
 	// (empty when the template does not apply there).
 	Generate(ctx *Context, line netcfg.LineRef) []Update
+}
+
+// DescribedTemplate is a Template resolved through the template registry
+// (internal/tmplreg): it additionally exposes the digest of its registry
+// descriptor — name, description, error class, use-case, version,
+// provenance. SearchDigest folds the descriptor digest of every described
+// template into the options fingerprint, so a journaled session refuses
+// to resume — and the fleet refuses to dedup — against a template set
+// whose registry metadata changed, not just one whose names changed.
+type DescribedTemplate interface {
+	Template
+	DescriptorDigest() string
 }

@@ -181,7 +181,7 @@ func (o Options) withDefaults() Options {
 		o.SampleSize = 16
 	}
 	if o.Templates == nil {
-		o.Templates = DefaultTemplates()
+		o.Templates = templateSource()
 	}
 	if o.MaxValidationRetries <= 0 {
 		o.MaxValidationRetries = 2

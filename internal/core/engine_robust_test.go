@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"acr/internal/core"
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
+	"acr/internal/tmplreg"
 	"acr/internal/scenario"
 )
 
@@ -84,8 +86,8 @@ func TestTerminationExhausted(t *testing.T) {
 // never progresses — the run must hit the iteration cap.
 type noopTemplate struct{}
 
-func (noopTemplate) Name() string       { return "noop" }
-func (noopTemplate) ErrorClass() string { return "test" }
+func (noopTemplate) Name() string               { return "noop" }
+func (noopTemplate) ErrorClass() errclass.Class { return "test" }
 func (noopTemplate) Generate(ctx *core.Context, line netcfg.LineRef) []core.Update {
 	return []core.Update{{
 		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
@@ -184,8 +186,8 @@ func TestRepairContextMatchesRepair(t *testing.T) {
 // it and keep searching with the healthy templates.
 type panicTemplate struct{}
 
-func (panicTemplate) Name() string       { return "panic" }
-func (panicTemplate) ErrorClass() string { return "test" }
+func (panicTemplate) Name() string               { return "panic" }
+func (panicTemplate) ErrorClass() errclass.Class { return "test" }
 func (panicTemplate) Generate(*core.Context, netcfg.LineRef) []core.Update {
 	panic("template bug")
 }
@@ -193,7 +195,7 @@ func (panicTemplate) Generate(*core.Context, netcfg.LineRef) []core.Update {
 // TestPanickingTemplateQuarantined: a hostile template cannot kill the
 // run, and its panics are accounted.
 func TestPanickingTemplateQuarantined(t *testing.T) {
-	tmpls := append([]core.Template{panicTemplate{}}, core.DefaultTemplates()...)
+	tmpls := append([]core.Template{panicTemplate{}}, tmplreg.Default.EngineTemplates()...)
 	res := core.Repair(problemOf(scenario.Figure2()),
 		core.Options{Strategy: core.BruteForce, Templates: tmpls})
 	if !res.Feasible {

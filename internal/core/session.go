@@ -69,7 +69,16 @@ func (o Options) SearchDigest() string {
 		o.Formula.Name, o.MaxIterations, o.MinSusp, o.TopKLines, o.PopulationCap,
 		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache, o.NoImpact)
 	for _, t := range o.Templates {
-		fmt.Fprintf(h, "template=%s\n", t.Name())
+		// Registry-resolved templates fold their full descriptor digest —
+		// name, description, error class, use-case, version, provenance —
+		// into the search fingerprint, so a resume (or a fleet dedup hit)
+		// against a registry whose metadata changed is refused even when the
+		// template names still match. Bare templates hash by name only.
+		if dt, ok := t.(DescribedTemplate); ok {
+			fmt.Fprintf(h, "template=%s %s\n", t.Name(), dt.DescriptorDigest())
+		} else {
+			fmt.Fprintf(h, "template=%s\n", t.Name())
+		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

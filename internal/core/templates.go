@@ -6,15 +6,35 @@ import (
 	"sort"
 	"strings"
 
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 	"acr/internal/smt"
 	"acr/internal/verify"
 )
 
-// DefaultTemplates returns the change-template library: one family per
+// templateSource resolves the template library used when Options.Templates
+// is nil. The registry (internal/tmplreg) installs its resolution at init,
+// making the registry the engine's single template authority in every
+// binary that links it; the raw builtin list is the bootstrap so core
+// remains self-contained under isolated unit tests.
+var templateSource = BuiltinTemplates
+
+// SetTemplateSource installs the default template resolution. It exists
+// for internal/tmplreg (called once from its init); installing any other
+// source changes SearchDigest and therefore orphans existing journals.
+func SetTemplateSource(f func() []Template) {
+	if f != nil {
+		templateSource = f
+	}
+}
+
+// BuiltinTemplates returns the raw change-template structs: one family per
 // misconfiguration class of Table 1, learned from the paper's historical
-// incident study.
-func DefaultTemplates() []Template {
+// incident study, in the engine's canonical application order. This is the
+// bootstrap list — resolve templates through internal/tmplreg, which wraps
+// each struct with its registry descriptor, instead of calling this
+// directly.
+func BuiltinTemplates() []Template {
 	return []Template{
 		SymbolizePrefixList{},
 		AddRedistribute{},
@@ -41,7 +61,7 @@ type SymbolizePrefixList struct{}
 func (SymbolizePrefixList) Name() string { return "symbolize-prefix-list" }
 
 // ErrorClass implements Template.
-func (SymbolizePrefixList) ErrorClass() string { return "Missing items in ip prefix-list" }
+func (SymbolizePrefixList) ErrorClass() errclass.Class { return errclass.MissingPrefixListItem }
 
 // Generate implements Template.
 func (SymbolizePrefixList) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -78,7 +98,7 @@ type AddRedistribute struct{}
 func (AddRedistribute) Name() string { return "add-redistribute-static" }
 
 // ErrorClass implements Template.
-func (AddRedistribute) ErrorClass() string { return "Missing redistribution of static route" }
+func (AddRedistribute) ErrorClass() errclass.Class { return errclass.MissingRedistribution }
 
 // Generate implements Template.
 func (AddRedistribute) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -120,7 +140,7 @@ type AddStaticOrigination struct{}
 func (AddStaticOrigination) Name() string { return "add-static-origination" }
 
 // ErrorClass implements Template.
-func (AddStaticOrigination) ErrorClass() string { return "Missing redistribution of static route" }
+func (AddStaticOrigination) ErrorClass() errclass.Class { return errclass.MissingRedistribution }
 
 // Generate implements Template.
 func (AddStaticOrigination) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -173,7 +193,7 @@ type AddPBRPermitRule struct{}
 func (AddPBRPermitRule) Name() string { return "add-pbr-permit-rule" }
 
 // ErrorClass implements Template.
-func (AddPBRPermitRule) ErrorClass() string { return "Missing permit rules in PBR" }
+func (AddPBRPermitRule) ErrorClass() errclass.Class { return errclass.MissingPBRPermit }
 
 // Generate implements Template.
 func (AddPBRPermitRule) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -247,7 +267,7 @@ type RemovePBRRule struct{}
 func (RemovePBRRule) Name() string { return "remove-pbr-rule" }
 
 // ErrorClass implements Template.
-func (RemovePBRRule) ErrorClass() string { return "Extra redirect rule in PBR" }
+func (RemovePBRRule) ErrorClass() errclass.Class { return errclass.ExtraPBRRedirect }
 
 // Generate implements Template.
 func (RemovePBRRule) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -288,7 +308,7 @@ type AddPeerToGroup struct{}
 func (AddPeerToGroup) Name() string { return "add-peer-to-group" }
 
 // ErrorClass implements Template.
-func (AddPeerToGroup) ErrorClass() string { return "Missing peer group" }
+func (AddPeerToGroup) ErrorClass() errclass.Class { return errclass.MissingPeerGroup }
 
 // Generate implements Template.
 func (AddPeerToGroup) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -326,7 +346,7 @@ type RemoveGroupMembership struct{}
 func (RemoveGroupMembership) Name() string { return "remove-group-membership" }
 
 // ErrorClass implements Template.
-func (RemoveGroupMembership) ErrorClass() string { return "Extra items in peer group" }
+func (RemoveGroupMembership) ErrorClass() errclass.Class { return errclass.ExtraPeerGroupItem }
 
 // Generate implements Template.
 func (RemoveGroupMembership) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -350,7 +370,7 @@ type RemovePolicyAttach struct{}
 func (RemovePolicyAttach) Name() string { return "remove-policy-attach" }
 
 // ErrorClass implements Template.
-func (RemovePolicyAttach) ErrorClass() string { return "Fail to dis-enable route map" }
+func (RemovePolicyAttach) ErrorClass() errclass.Class { return errclass.LeftoverRouteMap }
 
 // Generate implements Template.
 func (RemovePolicyAttach) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -374,7 +394,7 @@ type FixPeerASN struct{}
 func (FixPeerASN) Name() string { return "fix-peer-asn" }
 
 // ErrorClass implements Template.
-func (FixPeerASN) ErrorClass() string { return "Override to wrong AS number" }
+func (FixPeerASN) ErrorClass() errclass.Class { return errclass.WrongASNumber }
 
 // Generate implements Template.
 func (FixPeerASN) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -441,7 +461,7 @@ type AttachPolicyLikePeers struct{}
 func (AttachPolicyLikePeers) Name() string { return "attach-policy-like-peers" }
 
 // ErrorClass implements Template.
-func (AttachPolicyLikePeers) ErrorClass() string { return "Missing a routing policy" }
+func (AttachPolicyLikePeers) ErrorClass() errclass.Class { return errclass.MissingRoutingPolicy }
 
 // Generate implements Template.
 func (AttachPolicyLikePeers) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -510,7 +530,7 @@ type CopyPolicyFromRole struct{}
 func (CopyPolicyFromRole) Name() string { return "copy-policy-from-role" }
 
 // ErrorClass implements Template.
-func (CopyPolicyFromRole) ErrorClass() string { return "Missing a routing policy" }
+func (CopyPolicyFromRole) ErrorClass() errclass.Class { return errclass.MissingRoutingPolicy }
 
 // Generate implements Template.
 func (CopyPolicyFromRole) Generate(ctx *Context, line netcfg.LineRef) []Update {

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"acr/internal/bgp"
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
@@ -21,13 +22,13 @@ func ctxFor(t *testing.T, s *scenario.Scenario) *Context {
 	return buildContext(p, iv, sbfl.Tarantula, rand.New(rand.NewSource(1)), false)
 }
 
-func TestDefaultTemplatesCoverAllClasses(t *testing.T) {
-	ts := DefaultTemplates()
+func TestBuiltinTemplatesCoverAllClasses(t *testing.T) {
+	ts := BuiltinTemplates()
 	if len(ts) < 9 {
 		t.Fatalf("only %d templates", len(ts))
 	}
 	names := map[string]bool{}
-	classes := map[string]bool{}
+	classes := map[errclass.Class]bool{}
 	for _, tm := range ts {
 		if names[tm.Name()] {
 			t.Errorf("duplicate template name %q", tm.Name())
@@ -36,17 +37,7 @@ func TestDefaultTemplatesCoverAllClasses(t *testing.T) {
 		classes[tm.ErrorClass()] = true
 	}
 	// All Table 1 class labels appear.
-	for _, want := range []string{
-		"Missing redistribution of static route",
-		"Missing permit rules in PBR",
-		"Extra redirect rule in PBR",
-		"Missing peer group",
-		"Extra items in peer group",
-		"Missing a routing policy",
-		"Fail to dis-enable route map",
-		"Override to wrong AS number",
-		"Missing items in ip prefix-list",
-	} {
+	for _, want := range errclass.All() {
 		if !classes[want] {
 			t.Errorf("no template for class %q", want)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 	"acr/internal/rolesim"
 )
@@ -31,7 +32,7 @@ type DeleteSuspiciousLine struct{}
 func (DeleteSuspiciousLine) Name() string { return "universal-delete-line" }
 
 // ErrorClass implements Template.
-func (DeleteSuspiciousLine) ErrorClass() string { return "universal (syntactic)" }
+func (DeleteSuspiciousLine) ErrorClass() errclass.Class { return errclass.UniversalSyntactic }
 
 // Generate implements Template.
 func (DeleteSuspiciousLine) Generate(ctx *Context, line netcfg.LineRef) []Update {
@@ -59,7 +60,7 @@ type CopyFromRolePeer struct{}
 func (CopyFromRolePeer) Name() string { return "universal-copy-from-role-peer" }
 
 // ErrorClass implements Template.
-func (CopyFromRolePeer) ErrorClass() string { return "universal (plastic surgery)" }
+func (CopyFromRolePeer) ErrorClass() errclass.Class { return errclass.UniversalPlasticSurgery }
 
 // copyCap bounds candidates per device per iteration.
 const copyCap = 4

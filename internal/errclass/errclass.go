@@ -1,0 +1,66 @@
+// Package errclass defines the Table 1 misconfiguration classes as typed
+// constants — the single vocabulary shared by the change templates
+// (internal/core, internal/tmplreg), the static analyzers
+// (internal/analysis), and the incident injectors (internal/incidents).
+// The engine prunes template applications by comparing a diagnostic's
+// class against a template's declared class, and the conformance harness
+// pairs templates with injectors by class, so all three layers must spell
+// the classes identically; before this package each spelled them as its
+// own free-form string literals.
+package errclass
+
+// Class is one misconfiguration class. The canonical values are Table 1's
+// "Types" column, verbatim; operator-registered templates may introduce
+// new classes (any non-empty string), but only Table 1 classes have
+// injectors and therefore conformance coverage.
+type Class string
+
+// The nine classes of Table 1.
+const (
+	MissingRedistribution Class = "Missing redistribution of static route"
+	MissingPBRPermit      Class = "Missing permit rules in PBR"
+	ExtraPBRRedirect      Class = "Extra redirect rule in PBR"
+	MissingPeerGroup      Class = "Missing peer group"
+	ExtraPeerGroupItem    Class = "Extra items in peer group"
+	MissingRoutingPolicy  Class = "Missing a routing policy"
+	LeftoverRouteMap      Class = "Fail to dis-enable route map"
+	WrongASNumber         Class = "Override to wrong AS number"
+	MissingPrefixListItem Class = "Missing items in ip prefix-list"
+)
+
+// Pseudo-classes of the §6 universal-operator ablation. They are not
+// Table 1 rows: no analyzer diagnoses them and no injector produces them,
+// so templates declaring them are exempt from per-class conformance.
+const (
+	UniversalSyntactic      Class = "universal (syntactic)"
+	UniversalPlasticSurgery Class = "universal (plastic surgery)"
+)
+
+// String returns the class spelling.
+func (c Class) String() string { return string(c) }
+
+// Table1 reports whether c is one of the nine historical classes — the
+// ones with analyzer, injector, and conformance coverage.
+func (c Class) Table1() bool {
+	for _, k := range All() {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the nine Table 1 classes in the table's row order.
+func All() []Class {
+	return []Class{
+		MissingRedistribution,
+		MissingPBRPermit,
+		ExtraPBRRedirect,
+		MissingPeerGroup,
+		ExtraPeerGroupItem,
+		MissingRoutingPolicy,
+		LeftoverRouteMap,
+		WrongASNumber,
+		MissingPrefixListItem,
+	}
+}

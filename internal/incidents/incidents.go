@@ -14,6 +14,7 @@ import (
 
 	"acr/internal/bgp"
 	"acr/internal/core"
+	"acr/internal/errclass"
 	"acr/internal/netcfg"
 	"acr/internal/sbfl"
 	"acr/internal/scenario"
@@ -39,9 +40,11 @@ const (
 // ClassInfo describes one Table 1 row.
 type ClassInfo struct {
 	Class ErrorClass
-	// Category and Name follow Table 1's "Configs" and "Types" columns.
+	// Category follows Table 1's "Configs" column; Name is the shared
+	// errclass label (Table 1's "Types" column), tying each injector row to
+	// the analyzers and templates registered under the same class.
 	Category string
-	Name     string
+	Name     errclass.Class
 	// Ratio is the paper's share of incidents (Table 1's "Ratio").
 	Ratio float64
 	// Lines is Table 1's "Lines" column: M(ultiple) or S(ingle).
@@ -51,15 +54,15 @@ type ClassInfo struct {
 // Table1 is the paper's Table 1, verbatim. The "missing items in ip
 // prefix-list" row merges the paper's S (4.2%) and M (12.5%) variants.
 var Table1 = []ClassInfo{
-	{MissingRedistribution, "Route", "Missing redistribution of static route", 0.208, "M"},
-	{MissingPBRPermit, "PBR", "Missing permit rules in PBR", 0.125, "M"},
-	{ExtraPBRRedirect, "PBR", "Extra redirect rule in PBR", 0.042, "S"},
-	{MissingPeerGroup, "Peer", "Missing peer group", 0.166, "M"},
-	{ExtraPeerGroupItem, "Peer", "Extra items in peer group", 0.125, "M"},
-	{MissingRoutingPolicy, "Policy", "Missing a routing policy", 0.083, "M"},
-	{LeftoverRouteMap, "Policy", "Fail to dis-enable route map", 0.042, "S"},
-	{WrongASNumber, "Policy", "Override to wrong AS number", 0.042, "S"},
-	{MissingPrefixListItem, "Policy", "Missing items in ip prefix-list", 0.167, "S/M"},
+	{MissingRedistribution, "Route", errclass.MissingRedistribution, 0.208, "M"},
+	{MissingPBRPermit, "PBR", errclass.MissingPBRPermit, 0.125, "M"},
+	{ExtraPBRRedirect, "PBR", errclass.ExtraPBRRedirect, 0.042, "S"},
+	{MissingPeerGroup, "Peer", errclass.MissingPeerGroup, 0.166, "M"},
+	{ExtraPeerGroupItem, "Peer", errclass.ExtraPeerGroupItem, 0.125, "M"},
+	{MissingRoutingPolicy, "Policy", errclass.MissingRoutingPolicy, 0.083, "M"},
+	{LeftoverRouteMap, "Policy", errclass.LeftoverRouteMap, 0.042, "S"},
+	{WrongASNumber, "Policy", errclass.WrongASNumber, 0.042, "S"},
+	{MissingPrefixListItem, "Policy", errclass.MissingPrefixListItem, 0.167, "S/M"},
 }
 
 // Info returns the Table 1 row of a class.
@@ -72,8 +75,20 @@ func Info(c ErrorClass) ClassInfo {
 	return ClassInfo{}
 }
 
+// ByClass resolves a shared errclass label back to its Table 1 injector
+// class — the reverse of Info(c).Name. The conformance harness uses it to
+// turn a template's declared ErrorClass into incidents of that class.
+func ByClass(name errclass.Class) (ErrorClass, bool) {
+	for _, ci := range Table1 {
+		if ci.Name == name {
+			return ci.Class, true
+		}
+	}
+	return 0, false
+}
+
 // String names the class.
-func (c ErrorClass) String() string { return Info(c).Name }
+func (c ErrorClass) String() string { return string(Info(c).Name) }
 
 // Incident is one injected misconfiguration.
 type Incident struct {

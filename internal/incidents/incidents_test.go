@@ -71,7 +71,7 @@ func TestInjectEachClassVisibleAndGroundTruthValid(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, ci := range Table1 {
 		ci := ci
-		t.Run(ci.Name, func(t *testing.T) {
+		t.Run(string(ci.Name), func(t *testing.T) {
 			inc, err := Inject(ci.Class, CorpusOptions{}, rng)
 			if err != nil {
 				t.Fatalf("inject: %v", err)

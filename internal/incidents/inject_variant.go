@@ -1,0 +1,122 @@
+package incidents
+
+import (
+	"fmt"
+	"math/rand"
+
+	"acr/internal/netcfg"
+	"acr/internal/scenario"
+	"acr/internal/topo"
+)
+
+// Variants returns the number of distinct fault shapes available for a
+// class. Every class has at least the standard Inject shape (variant 0);
+// classes whose Table 1 label covers more than one way to break the
+// network also expose alternates, so the conformance harness can exercise
+// templates whose applicability guard excludes the standard shape (e.g.
+// add-static-origination requires `redistribute static` to still be
+// present — the very line the standard missing-redistribution injector
+// deletes).
+func Variants(class ErrorClass) int {
+	switch class {
+	case MissingRedistribution, MissingRoutingPolicy:
+		return 2
+	}
+	return 1
+}
+
+// InjectVariant builds one incident of the given class using its
+// variant'th fault shape. Variant 0 is exactly Inject; the corpus
+// generator only ever uses variant 0, so adding variants never perturbs
+// GenerateCorpus's rng stream or the corpus byte-identity baselines.
+func InjectVariant(class ErrorClass, variant int, opts CorpusOptions, rng *rand.Rand) (*Incident, error) {
+	if variant == 0 {
+		return Inject(class, opts, rng)
+	}
+	opts = opts.withDefaults()
+	switch {
+	case class == MissingRedistribution && variant == 1:
+		s := scenario.WAN(opts.WANRouters, opts.WANPoPs, opts.WANDCNs,
+			scenario.GenOptions{StaticOriginEvery: 2, FullIsolation: true})
+		return injectMissingStaticRoute(s, rng)
+	case class == MissingRoutingPolicy && variant == 1:
+		s := scenario.WAN(opts.WANRouters, opts.WANPoPs, opts.WANDCNs,
+			scenario.GenOptions{StaticOriginEvery: 2, FullIsolation: true})
+		return injectDetachedPolicy(s, rng)
+	}
+	return nil, fmt.Errorf("class %v has no variant %d", class, variant)
+}
+
+// injectMissingStaticRoute is the complement of the standard
+// missing-redistribution shape: `redistribute static` survives, but the
+// static route it should announce is gone. Only add-static-origination
+// can repair it; add-redistribute-static has nothing to redistribute.
+func injectMissingStaticRoute(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	var victims []string
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.PoP && nd.Kind != topo.DCN {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		if f.BGP != nil && f.BGP.Redistribute != nil && len(f.Statics) > 0 {
+			victims = append(victims, nd.Name)
+		}
+	}
+	if len(victims) == 0 {
+		return nil, fmt.Errorf("no static-originating stubs")
+	}
+	v := pick(rng, victims)
+	f := netcfg.MustParse(s.Configs[v])
+	st := pick(rng, f.Statics)
+	// Ground truth after deletion: the now-idle redistribute line.
+	redist := f.BGP.Redistribute.Line
+	if redist > st.Line {
+		redist--
+	}
+	truth := []netcfg.LineRef{{Device: v, Line: redist}}
+	return apply(s, MissingRedistribution, v,
+		[]netcfg.Edit{netcfg.DeleteLine{At: st.Line}}, truth,
+		fmt.Sprintf("injected: deleted `ip route static %s` on %s (redistribution kept)", st.Prefix, v))
+}
+
+// injectDetachedPolicy is the complement of the standard
+// missing-routing-policy shape: the NoLeak policy definition survives, but
+// its attachment to the PoP-facing group is gone. Only
+// attach-policy-like-peers can repair it (the definition exists locally,
+// so copy-policy-from-role has nothing to reconstruct).
+func injectDetachedPolicy(s *scenario.Scenario, rng *rand.Rand) (*Incident, error) {
+	type site struct {
+		device string
+		line   int
+		group  int
+	}
+	var sites []site
+	for _, nd := range s.Topo.Nodes() {
+		if nd.Kind != topo.Backbone {
+			continue
+		}
+		f := netcfg.MustParse(s.Configs[nd.Name])
+		g := f.GroupByName(scenario.WANGroupPoPFacing)
+		if g == nil || len(f.PolicyNodes(scenario.WANPolicyNoLeak)) == 0 {
+			continue
+		}
+		for _, a := range g.Policies {
+			if a.Policy == scenario.WANPolicyNoLeak {
+				sites = append(sites, site{nd.Name, a.Line, g.Line})
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("no NoLeak attachments on backbones")
+	}
+	st := pick(rng, sites)
+	// Ground truth: the group declaration whose attachment vanished.
+	decl := st.group
+	if decl > st.line {
+		decl--
+	}
+	truth := []netcfg.LineRef{{Device: st.device, Line: decl}}
+	return apply(s, MissingRoutingPolicy, st.device,
+		[]netcfg.Edit{netcfg.DeleteLine{At: st.line}}, truth,
+		"injected: detached the NoLeakDCN policy from "+scenario.WANGroupPoPFacing+" on "+st.device+" (definition kept)")
+}

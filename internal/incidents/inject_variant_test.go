@@ -1,0 +1,58 @@
+package incidents
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestInjectVariantZeroIsInject: variant 0 must be byte-for-byte the
+// standard injector under the same rng stream, so conformance's variant
+// sweep and the corpus generator agree on the base shape.
+func TestInjectVariantZeroIsInject(t *testing.T) {
+	for _, ci := range Table1 {
+		a, errA := Inject(ci.Class, CorpusOptions{}, rand.New(rand.NewSource(7)))
+		b, errB := InjectVariant(ci.Class, 0, CorpusOptions{}, rand.New(rand.NewSource(7)))
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: inject err %v vs variant-0 err %v", ci.Name, errA, errB)
+		}
+		if errA != nil {
+			continue
+		}
+		if a.Scenario.Notes != b.Scenario.Notes || len(a.Scenario.FaultyLines) != len(b.Scenario.FaultyLines) {
+			t.Errorf("%s: variant 0 diverged from Inject: %q vs %q", ci.Name, a.Scenario.Notes, b.Scenario.Notes)
+		}
+	}
+}
+
+// TestInjectVariantAlternateShapes: every advertised variant injects a
+// visible fault with ground truth inside the configs, and the alternate
+// shapes keep the construct the standard shape deletes.
+func TestInjectVariantAlternateShapes(t *testing.T) {
+	for _, ci := range Table1 {
+		for v := 0; v < Variants(ci.Class); v++ {
+			rng := rand.New(rand.NewSource(11))
+			inc, err := InjectVariant(ci.Class, v, CorpusOptions{}, rng)
+			if err != nil {
+				t.Fatalf("%s variant %d: %v", ci.Name, v, err)
+			}
+			if inc.Class != ci.Class {
+				t.Errorf("%s variant %d: class %v", ci.Name, v, inc.Class)
+			}
+			if !Visible(inc) {
+				t.Errorf("%s variant %d: injection caused no failing test", ci.Name, v)
+			}
+			if len(inc.Scenario.FaultyLines) == 0 {
+				t.Errorf("%s variant %d: no ground truth", ci.Name, v)
+			}
+			for _, ref := range inc.Scenario.FaultyLines {
+				cfg := inc.Scenario.Configs[ref.Device]
+				if cfg == nil || ref.Line < 1 || ref.Line > cfg.NumLines() {
+					t.Errorf("%s variant %d: ground truth %v out of range", ci.Name, v, ref)
+				}
+			}
+		}
+	}
+	if _, err := InjectVariant(WrongASNumber, 1, CorpusOptions{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("undeclared variant accepted")
+	}
+}

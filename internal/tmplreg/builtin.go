@@ -1,0 +1,61 @@
+package tmplreg
+
+import (
+	"acr/internal/core"
+)
+
+// registerBuiltins populates a registry with the shipped library: the
+// eleven Table 1 change templates in core.BuiltinTemplates order — the
+// order IS the engine's candidate-generation order, so it must never be
+// reshuffled — followed by the two §6 universal operators.
+func registerBuiltins(r *Registry) {
+	builtin := func(t core.Template, desc, useCase string) {
+		r.MustRegister(Meta{
+			Name:        t.Name(),
+			Description: desc,
+			Class:       t.ErrorClass(),
+			UseCase:     useCase,
+			Version:     "1.0.0",
+			Provenance:  Builtin,
+		}, t)
+	}
+	builtin(core.SymbolizePrefixList{},
+		"Replace a prefix-list's entries with an SMT-solved set satisfying the failing and passing reachability constraints",
+		"A prefix-list filters traffic an intent requires, or admits traffic an intent forbids")
+	builtin(core.AddRedistribute{},
+		"Insert a redistribute-static line into the bgp block of a device whose static route covers a failing destination",
+		"A static route exists but is never announced because redistribution was dropped")
+	builtin(core.AddStaticOrigination{},
+		"Insert a static route (solved over the failing destinations originating at the device) next to existing redistribution",
+		"Redistribution is configured but the static route it should announce was deleted")
+	builtin(core.AddPBRPermitRule{},
+		"Insert a permit rule for the failing flow ahead of the PBR rule that drops or redirects it",
+		"A PBR policy redirects or drops traffic an intent requires to pass")
+	builtin(core.RemovePBRRule{},
+		"Delete an entire PBR rule block whose redirect captures a failing flow",
+		"A leftover redirect rule (e.g. a scrubber detour) still captures production traffic")
+	builtin(core.AddPeerToGroup{},
+		"Insert a group-membership line for an ungrouped peer, one candidate per existing group",
+		"A BGP peer lost its peer-group membership and with it the group's policies")
+	builtin(core.RemoveGroupMembership{},
+		"Delete a peer's group-membership line",
+		"A peer was added to a group whose policies it must not inherit")
+	builtin(core.RemovePolicyAttach{},
+		"Delete a route-policy attachment from a peer group",
+		"A route map that should have been dis-enabled is still attached and filters valid routes")
+	builtin(core.FixPeerASN{},
+		"Rewrite a peer's remote AS number to the SMT-solved value matching the neighbor's actual AS",
+		"An eBGP session stays down because the configured remote AS is wrong")
+	builtin(core.AttachPolicyLikePeers{},
+		"Attach a locally defined route policy to a group, mirroring same-role devices",
+		"A group lost a policy attachment its role peers still carry")
+	builtin(core.CopyPolicyFromRole{},
+		"Reconstruct a missing route-policy definition by copying it from a same-role device",
+		"A dangling attach references a policy whose definition was deleted")
+	builtin(core.DeleteSuspiciousLine{},
+		"Delete any single line covered by a failing test",
+		"§6 universal ablation: the history-free \"this statement is wrong, drop it\" operator")
+	builtin(core.CopyFromRolePeer{},
+		"Insert, verbatim, lines a quorum of same-role devices carry but this device lacks",
+		"§6 universal ablation: the naive plastic-surgery operator, parameters and all")
+}

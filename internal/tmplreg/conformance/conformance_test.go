@@ -1,0 +1,174 @@
+package conformance
+
+import (
+	"testing"
+
+	"acr/internal/analysis"
+	"acr/internal/core"
+	"acr/internal/errclass"
+	"acr/internal/incidents"
+	"acr/internal/netcfg"
+	"acr/internal/tmplreg"
+)
+
+// quick keeps test runs fast: one seed, modest iteration budget.
+var quick = Options{Seeds: []int64{1}, MaxIterations: 30}
+
+// TestAllBuiltinsConform is the acceptance gate: every builtin template —
+// the nine Table 1 families (11 structs) and the two universal operators —
+// passes conformance, and the verdicts land in the registry.
+func TestAllBuiltinsConform(t *testing.T) {
+	reg := tmplreg.NewBuiltin()
+	rep, err := Run(reg, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 13 {
+		t.Fatalf("checked %d templates, want 13", len(rep.Results))
+	}
+	for _, tr := range rep.Results {
+		if !tr.Conformant {
+			t.Errorf("%s (%s): not conformant: %v %v", tr.Name, tr.Class, tr.Reasons, tr.GenerateErrors)
+			continue
+		}
+		if tr.Class.Table1() && (tr.Attempts == 0 || tr.Repaired == 0) {
+			t.Errorf("%s: power check did not run (%d/%d)", tr.Name, tr.Repaired, tr.Attempts)
+		}
+		e, ok := reg.Lookup(tr.Name)
+		if !ok || !e.Conformant {
+			t.Errorf("%s: verdict not recorded in registry", tr.Name)
+		}
+	}
+	if rep.RegistryDigest != reg.Digest() {
+		t.Error("report does not carry the registry digest")
+	}
+}
+
+// brokenTemplate emits an edit far past the end of every file — the
+// deliberately broken fixture the harness must reject.
+type brokenTemplate struct{}
+
+func (brokenTemplate) Name() string               { return "fixture-broken-edit" }
+func (brokenTemplate) ErrorClass() errclass.Class { return errclass.MissingPeerGroup }
+func (brokenTemplate) Generate(ctx *core.Context, line netcfg.LineRef) []core.Update {
+	return []core.Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: []netcfg.Edit{
+			netcfg.DeleteLine{At: 99999},
+		}}},
+		Desc: "fixture-broken-edit " + line.String(),
+	}}
+}
+
+// uselessTemplate never generates anything, so it cannot repair its
+// declared class.
+type uselessTemplate struct{}
+
+func (uselessTemplate) Name() string               { return "fixture-useless" }
+func (uselessTemplate) ErrorClass() errclass.Class { return errclass.WrongASNumber }
+func (uselessTemplate) Generate(*core.Context, netcfg.LineRef) []core.Update {
+	return nil
+}
+
+// panickyTemplate panics on any backbone anchor.
+type panickyTemplate struct{}
+
+func (panickyTemplate) Name() string               { return "fixture-panicky" }
+func (panickyTemplate) ErrorClass() errclass.Class { return errclass.LeftoverRouteMap }
+func (panickyTemplate) Generate(ctx *core.Context, line netcfg.LineRef) []core.Update {
+	panic("fixture bug at " + line.String())
+}
+
+// TestBrokenFixturesRejected: malformed-edit, powerless, and panicking
+// templates are all refused admission, each with a reason, while builtins
+// in the same registry still pass.
+func TestBrokenFixturesRejected(t *testing.T) {
+	reg := tmplreg.NewBuiltin()
+	for _, f := range []core.Template{brokenTemplate{}, uselessTemplate{}, panickyTemplate{}} {
+		err := reg.Register(tmplreg.Meta{
+			Name:        f.Name(),
+			Description: "deliberately broken conformance fixture",
+			Class:       f.ErrorClass(),
+			UseCase:     "harness rejection test",
+			Version:     "0.0.1",
+			Provenance:  tmplreg.Operator,
+		}, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := Run(reg, Options{
+		Seeds:         quick.Seeds,
+		MaxIterations: quick.MaxIterations,
+		Names:         []string{"fixture-broken-edit", "fixture-useless", "fixture-panicky", "fix-peer-asn"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := map[string]TemplateResult{}
+	for _, tr := range rep.Results {
+		verdicts[tr.Name] = tr
+	}
+	if tr := verdicts["fixture-broken-edit"]; tr.Conformant || len(tr.GenerateErrors) == 0 {
+		t.Errorf("broken-edit fixture admitted: %+v", tr)
+	}
+	if tr := verdicts["fixture-useless"]; tr.Conformant || tr.Repaired != 0 || len(tr.Reasons) == 0 {
+		t.Errorf("useless fixture admitted: %+v", tr)
+	}
+	if tr := verdicts["fixture-panicky"]; tr.Conformant || len(tr.GenerateErrors) == 0 {
+		t.Errorf("panicky fixture admitted: %+v", tr)
+	}
+	if tr := verdicts["fix-peer-asn"]; !tr.Conformant {
+		t.Errorf("builtin rejected alongside fixtures: %+v", tr)
+	}
+	if e, _ := reg.Lookup("fixture-broken-edit"); e.Conformant {
+		t.Error("rejection not recorded in registry")
+	}
+	got := rep.Rejected()
+	if len(got) != 3 {
+		t.Errorf("Rejected() = %v", got)
+	}
+}
+
+// TestRunUnknownName: restricting to an unregistered template is an error,
+// not a silent skip.
+func TestRunUnknownName(t *testing.T) {
+	if _, err := Run(tmplreg.NewBuiltin(), Options{Names: []string{"no-such"}}); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+// TestEveryClassFullyCovered is the Table 1 closure cross-check: each of
+// the paper's nine error classes has at least one static analyzer, at
+// least one incident injector, and at least one conformant change
+// template. A class missing any leg would silently degrade the
+// localize–fix–validate loop.
+func TestEveryClassFullyCovered(t *testing.T) {
+	reg := tmplreg.NewBuiltin()
+	rep, err := Run(reg, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conformant := map[errclass.Class]int{}
+	for _, tr := range rep.Results {
+		if tr.Conformant {
+			conformant[tr.Class]++
+		}
+	}
+	analyzers := map[errclass.Class]int{}
+	for _, a := range analysis.Analyzers() {
+		if a.Class != "" {
+			analyzers[a.Class]++
+		}
+	}
+	for _, class := range errclass.All() {
+		if analyzers[class] == 0 {
+			t.Errorf("%s: no static analyzer declares this class", class)
+		}
+		if _, ok := incidents.ByClass(class); !ok {
+			t.Errorf("%s: no incident injector for this class", class)
+		}
+		if conformant[class] == 0 {
+			t.Errorf("%s: no conformant template repairs this class", class)
+		}
+	}
+}

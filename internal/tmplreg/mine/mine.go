@@ -1,0 +1,278 @@
+// Package mine learns candidate change templates from historical
+// configuration diffs. Given before/after pairs of real repairs, it runs
+// the semantic AST diff (analysis.SemanticDiff), looks for recurring fact
+// shapes — "a redistribute statement appeared on a device that had
+// orphaned statics", "a peer's remote AS was corrected" — and generalizes
+// each recurring shape into a parameterized edit pattern: an anchor role
+// set, a guard re-deriving the pattern's observed precondition, and a line
+// skeleton whose holes are solved against the live repair context (the
+// integer holes by the constraint solver in internal/smt).
+//
+// Mined candidates carry provenance "mined" and are NOT trusted: Admit
+// registers them and runs the conformance harness, and only templates that
+// repair their declared class without harming clean substrates come back
+// admitted. The engine then opts in per run via Registry.Resolve — mined
+// templates never join the default library implicitly.
+package mine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"acr/internal/analysis"
+	"acr/internal/core"
+	"acr/internal/errclass"
+	"acr/internal/netcfg"
+	"acr/internal/tmplreg"
+	"acr/internal/tmplreg/conformance"
+)
+
+// Pair is one historical repair: the configuration set before the human
+// fix and after it.
+type Pair struct {
+	Name   string
+	Before map[string]*netcfg.Config
+	After  map[string]*netcfg.Config
+}
+
+// Options tunes a mining run.
+type Options struct {
+	// MinSupport is the number of pairs that must exhibit a fact shape
+	// before it is generalized (default 1 — a single well-curated example
+	// mines a candidate; conformance is the real gate).
+	MinSupport int
+}
+
+// Candidate is one mined template proposal.
+type Candidate struct {
+	Meta     tmplreg.Meta
+	Support  int      // pairs exhibiting the pattern
+	Evidence []string // names of those pairs, sorted
+
+	tmpl core.Template
+}
+
+// Template returns the candidate's change operator.
+func (c Candidate) Template() core.Template { return c.tmpl }
+
+// LoadDir reads a fixture corpus of historical diffs laid out as
+// <dir>/<pair>/{before,after}/<device>.cfg.
+func LoadDir(dir string) ([]Pair, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var pairs []Pair
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		p := Pair{Name: ent.Name()}
+		for _, side := range []struct {
+			name string
+			dst  *map[string]*netcfg.Config
+		}{{"before", &p.Before}, {"after", &p.After}} {
+			cfgs, err := loadConfigs(filepath.Join(dir, ent.Name(), side.name))
+			if err != nil {
+				return nil, fmt.Errorf("mine: pair %s: %w", ent.Name(), err)
+			}
+			*side.dst = cfgs
+		}
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Name < pairs[j].Name })
+	return pairs, nil
+}
+
+func loadConfigs(dir string) (map[string]*netcfg.Config, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]*netcfg.Config{}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".cfg") {
+			continue
+		}
+		text, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			return nil, err
+		}
+		device := strings.TrimSuffix(ent.Name(), ".cfg")
+		out[device] = netcfg.NewConfig(device, string(text))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no .cfg files in %s", dir)
+	}
+	return out, nil
+}
+
+// Mine diffs every pair and generalizes recurring fact shapes into
+// candidate templates, sorted by name. A generalizer only fires when the
+// observed before-state satisfies the precondition its template will guard
+// on — the pattern must be learnable from the evidence, not assumed.
+func Mine(pairs []Pair, opts Options) ([]Candidate, error) {
+	if opts.MinSupport <= 0 {
+		opts.MinSupport = 1
+	}
+	support := map[string][]string{} // generalizer name -> supporting pair names
+	for _, p := range pairs {
+		before, err := parseSet(p.Before)
+		if err != nil {
+			return nil, fmt.Errorf("mine: pair %s before: %w", p.Name, err)
+		}
+		after, err := parseSet(p.After)
+		if err != nil {
+			return nil, fmt.Errorf("mine: pair %s after: %w", p.Name, err)
+		}
+		facts := analysis.SemanticDiff(before, after)
+		for _, g := range generalizers {
+			if g.supports(before, after, facts) {
+				support[g.name] = append(support[g.name], p.Name)
+			}
+		}
+	}
+	var out []Candidate
+	for _, g := range generalizers {
+		ev := support[g.name]
+		if len(ev) < opts.MinSupport {
+			continue
+		}
+		sort.Strings(ev)
+		out = append(out, Candidate{
+			Meta: tmplreg.Meta{
+				Name:        g.name,
+				Description: g.description,
+				Class:       g.class,
+				UseCase:     fmt.Sprintf("mined from %d historical diff(s): %s", len(ev), strings.Join(ev, ", ")),
+				Version:     "0.1.0",
+				Provenance:  tmplreg.Mined,
+			},
+			Support:  len(ev),
+			Evidence: ev,
+			tmpl:     g.build(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Meta.Name < out[j].Meta.Name })
+	return out, nil
+}
+
+func parseSet(cfgs map[string]*netcfg.Config) (map[string]*netcfg.File, error) {
+	out := map[string]*netcfg.File{}
+	for dev, c := range cfgs { //acrvet:ordered — map rebuild, order-free
+		f, err := netcfg.Parse(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dev, err)
+		}
+		out[dev] = f
+	}
+	return out, nil
+}
+
+// Admit registers the candidates into reg and runs the conformance harness
+// over exactly them. It returns the names admitted (conformant, recorded in
+// the registry) plus the full report. Non-conformant candidates stay
+// registered with Conformant=false so their rejection is auditable; callers
+// select templates through Resolve by admitted name, so rejected ones are
+// never handed to the engine.
+func Admit(reg *tmplreg.Registry, cands []Candidate, opts conformance.Options) ([]string, *conformance.Report, error) {
+	if len(cands) == 0 {
+		return nil, &conformance.Report{}, nil
+	}
+	names := make([]string, 0, len(cands))
+	for _, c := range cands {
+		if err := reg.Register(c.Meta, c.tmpl); err != nil {
+			return nil, nil, err
+		}
+		names = append(names, c.Meta.Name)
+	}
+	opts.Names = names
+	rep, err := conformance.Run(reg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var admitted []string
+	for _, tr := range rep.Results {
+		if tr.Conformant {
+			admitted = append(admitted, tr.Name)
+		}
+	}
+	sort.Strings(admitted)
+	return admitted, rep, nil
+}
+
+// generalizer maps one recurring fact shape to a parameterized template.
+type generalizer struct {
+	name        string
+	description string
+	class       errclass.Class
+	// supports reports whether this pair evidences the pattern AND its
+	// before-state satisfies the precondition the template will guard on.
+	supports func(before, after map[string]*netcfg.File, facts []analysis.Fact) bool
+	// build constructs the generalized template.
+	build func() core.Template
+}
+
+// generalizers is the pattern vocabulary the miner can learn, keyed by the
+// semantic fact each one recognizes. Adding a fact kind to
+// analysis.SemanticDiff plus an entry here teaches the miner a new family.
+var generalizers = []generalizer{
+	{
+		name:        "mined-add-redistribute-static",
+		description: "insert `redistribute static` into a bgp block whose statics are stranded without redistribution",
+		class:       errclass.MissingRedistribution,
+		supports: func(before, _ map[string]*netcfg.File, facts []analysis.Fact) bool {
+			for _, fa := range facts {
+				if fa.Kind != analysis.FactRedistributeAdded {
+					continue
+				}
+				// Learnable only if the before-state shows the guard's
+				// shape: a bgp block with statics and no redistribution.
+				if f := before[fa.Device]; f != nil && f.BGP != nil && f.BGP.Redistribute == nil && len(f.Statics) > 0 {
+					return true
+				}
+			}
+			return false
+		},
+		build: func() core.Template {
+			return &Pattern{
+				PatternName:  "mined-add-redistribute-static",
+				Class:        errclass.MissingRedistribution,
+				AnchorRoles:  []core.LineRole{core.RoleStaticRoute, core.RoleBGPHeader},
+				Guard:        guardStrandedStatics,
+				LineSkeleton: " redistribute static",
+				Placement:    placeBGPBlockEnd,
+			}
+		},
+	},
+	{
+		name:        "mined-fix-peer-asn",
+		description: "rewrite a failed session's remote AS with the solver-derived value the session constraint admits",
+		class:       errclass.WrongASNumber,
+		supports: func(before, after map[string]*netcfg.File, facts []analysis.Fact) bool {
+			for _, fa := range facts {
+				if fa.Kind == analysis.FactPeerASNChanged && fa.OldASN != fa.NewASN {
+					return true
+				}
+			}
+			return false
+		},
+		build: func() core.Template {
+			return &Pattern{
+				PatternName:  "mined-fix-peer-asn",
+				Class:        errclass.WrongASNumber,
+				AnchorRoles:  []core.LineRole{core.RolePeerASN},
+				Guard:        guardFailedSession,
+				LineSkeleton: " peer {addr} as-number {asn}",
+				Holes: []Hole{
+					{Name: "addr", Solve: solvePeerAddr},
+					{Name: "asn", Solve: solveSessionASN},
+				},
+				Placement: placeReplaceAnchor,
+			}
+		},
+	},
+}

@@ -1,0 +1,215 @@
+package mine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"acr/internal/core"
+	"acr/internal/incidents"
+	"acr/internal/netcfg"
+	"acr/internal/tmplreg"
+	"acr/internal/tmplreg/conformance"
+)
+
+var quick = conformance.Options{Seeds: []int64{1}, MaxIterations: 30}
+
+// TestLoadDirAndMine: the held-out fixture corpus mines both pattern
+// families, each with the right class, provenance, and evidence trail.
+func TestLoadDirAndMine(t *testing.T) {
+	pairs, err := LoadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("loaded %d pairs, want 2", len(pairs))
+	}
+	cands, err := Mine(pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 2 {
+		t.Fatalf("mined %d candidates, want 2: %+v", len(cands), cands)
+	}
+	byName := map[string]Candidate{}
+	for _, c := range cands {
+		byName[c.Meta.Name] = c
+		if c.Meta.Provenance != tmplreg.Mined {
+			t.Errorf("%s: provenance %q, want mined", c.Meta.Name, c.Meta.Provenance)
+		}
+		if c.Meta.Version == "" || c.Meta.Description == "" {
+			t.Errorf("%s: incomplete descriptor: %+v", c.Meta.Name, c.Meta)
+		}
+		if c.Template() == nil || c.Template().Name() != c.Meta.Name {
+			t.Errorf("%s: template/descriptor mismatch", c.Meta.Name)
+		}
+	}
+	if c := byName["mined-add-redistribute-static"]; c.Support != 1 || len(c.Evidence) != 1 || c.Evidence[0] != "missing-redistribution" {
+		t.Errorf("redistribute candidate evidence = %+v", c)
+	}
+	if c := byName["mined-fix-peer-asn"]; c.Support != 1 || c.Evidence[0] != "wrong-asn" {
+		t.Errorf("asn candidate evidence = %+v", c)
+	}
+}
+
+// TestMineRequiresEvidence: a diff that adds redistribution to a device
+// with no statics does not support the stranded-statics pattern — the
+// precondition must be learnable from the before-state, not assumed.
+func TestMineRequiresEvidence(t *testing.T) {
+	pair := Pair{
+		Name: "no-statics",
+		Before: map[string]*netcfg.Config{
+			"r1": netcfg.NewConfig("r1", "bgp 65001\n peer 10.0.0.2 as-number 65002"),
+		},
+		After: map[string]*netcfg.Config{
+			"r1": netcfg.NewConfig("r1", "bgp 65001\n redistribute static\n peer 10.0.0.2 as-number 65002"),
+		},
+	}
+	cands, err := Mine([]Pair{pair}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Meta.Name == "mined-add-redistribute-static" {
+			t.Errorf("pattern mined without its precondition in evidence: %+v", c)
+		}
+	}
+}
+
+// TestMinedTemplatesAdmitted: both mined candidates clear the conformance
+// harness, land in the registry as conformant, and shift the registry
+// digest (mined entries are part of the content address).
+func TestMinedTemplatesAdmitted(t *testing.T) {
+	pairs, err := LoadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Mine(pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tmplreg.NewBuiltin()
+	base := reg.Digest()
+	admitted, rep, err := Admit(reg, cands, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != 2 {
+		t.Fatalf("admitted %v (report %+v)", admitted, rep.Results)
+	}
+	for _, name := range admitted {
+		e, ok := reg.Lookup(name)
+		if !ok || !e.Conformant || e.Provenance != tmplreg.Mined {
+			t.Errorf("%s: registry entry %+v", name, e)
+		}
+	}
+	if reg.Digest() == base {
+		t.Error("registry digest unchanged by mined admissions")
+	}
+	// Mined templates must not leak into the default engine library.
+	for _, tm := range reg.EngineTemplates() {
+		if strings.HasPrefix(tm.Name(), "mined-") {
+			t.Errorf("mined template %s in default engine set", tm.Name())
+		}
+	}
+}
+
+// TestAdmitRejectsBrokenCandidate: a mined candidate that cannot repair
+// its class is registered but not admitted.
+func TestAdmitRejectsBrokenCandidate(t *testing.T) {
+	reg := tmplreg.NewBuiltin()
+	dud := Candidate{
+		Meta: tmplreg.Meta{
+			Name:        "mined-dud",
+			Description: "pattern with an unsatisfiable guard",
+			Class:       "Missing redistribution of static route",
+			UseCase:     "rejection test",
+			Version:     "0.1.0",
+			Provenance:  tmplreg.Mined,
+		},
+		tmpl: &Pattern{
+			PatternName: "mined-dud",
+			Class:       "Missing redistribution of static route",
+			AnchorRoles: []core.LineRole{core.RoleStaticRoute},
+			Guard:       func(*core.Context, netcfg.LineRef) bool { return false },
+			Placement:   placeBGPBlockEnd,
+		},
+	}
+	admitted, rep, err := Admit(reg, []Candidate{dud}, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitted) != 0 {
+		t.Fatalf("dud admitted: %v", admitted)
+	}
+	if got := rep.Rejected(); len(got) != 1 || got[0] != "mined-dud" {
+		t.Errorf("Rejected() = %v", got)
+	}
+	if e, ok := reg.Lookup("mined-dud"); !ok || e.Conformant {
+		t.Errorf("rejection not recorded: %+v", e)
+	}
+}
+
+// TestMinedTemplateRepairsEndToEnd is the acceptance check: mine the
+// held-out missing-redistribution diff, admit the candidate, resolve it
+// from the registry, and let the engine repair a fresh incident of that
+// class using ONLY the mined template.
+func TestMinedTemplateRepairsEndToEnd(t *testing.T) {
+	pairs, err := LoadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := Mine(pairs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := tmplreg.NewBuiltin()
+	admitted, _, err := Admit(reg, cands, quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range admitted {
+		found = found || n == "mined-add-redistribute-static"
+	}
+	if !found {
+		t.Fatalf("held-out fixture did not yield an admitted redistribution template: %v", admitted)
+	}
+
+	tmpls, err := reg.Resolve("mined-add-redistribute-static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, ok := incidents.ByClass("Missing redistribution of static route")
+	if !ok {
+		t.Fatal("no injector for the mined class")
+	}
+	inc, err := incidents.InjectVariant(ic, 0, incidents.CorpusOptions{}, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !incidents.Visible(inc) {
+		t.Fatal("injected incident not visible")
+	}
+	res := core.Repair(core.Problem{
+		Topo:    inc.Scenario.Topo,
+		Configs: inc.Scenario.Configs,
+		Intents: inc.Scenario.Intents,
+	}, core.Options{Templates: tmpls, MaxIterations: 30, Seed: 3})
+	if !res.Feasible {
+		t.Fatalf("mined template failed to repair: %s", res.Termination)
+	}
+	if len(res.Applied) == 0 || !strings.Contains(strings.Join(res.Applied, "\n"), "mined-add-redistribute-static") {
+		t.Errorf("repair not attributed to the mined template: %v", res.Applied)
+	}
+	repaired := false
+	for _, cfg := range res.FinalConfigs { //acrvet:ordered — existence check
+		f := netcfg.MustParse(cfg)
+		if f.BGP != nil && f.BGP.Redistribute != nil {
+			repaired = true
+		}
+	}
+	if !repaired {
+		t.Error("no repaired device carries the mined redistribute statement")
+	}
+}

@@ -1,0 +1,199 @@
+package mine
+
+import (
+	"fmt"
+	"strings"
+
+	"acr/internal/core"
+	"acr/internal/errclass"
+	"acr/internal/netcfg"
+	"acr/internal/smt"
+)
+
+// Pattern is a mined change template: a generalized edit learned from
+// historical diffs, represented as data rather than code. At Generate time
+// the pattern checks its anchor role and guard, solves every hole against
+// the live context, substitutes the solutions into the line skeleton, and
+// places the resulting line. A hole that cannot be solved (no model, no
+// evidence in the context) vetoes the candidate — a mined pattern never
+// guesses.
+type Pattern struct {
+	PatternName string
+	Class       errclass.Class
+	// AnchorRoles are the line roles the pattern activates on.
+	AnchorRoles []core.LineRole
+	// Guard re-derives the precondition observed in the mining evidence.
+	Guard func(ctx *core.Context, line netcfg.LineRef) bool
+	// LineSkeleton is the learned line with {hole} placeholders.
+	LineSkeleton string
+	// Holes are solved in order; every solution substitutes {name}.
+	Holes []Hole
+	// Placement turns the instantiated line into a concrete edit.
+	Placement func(ctx *core.Context, line netcfg.LineRef, text string) []netcfg.Edit
+}
+
+// Hole is one solved parameter of a pattern skeleton.
+type Hole struct {
+	Name string
+	// Solve derives the hole's value from the live context; ok=false
+	// vetoes the whole candidate.
+	Solve func(ctx *core.Context, line netcfg.LineRef) (string, bool)
+}
+
+// Name implements core.Template.
+func (p *Pattern) Name() string { return p.PatternName }
+
+// ErrorClass implements core.Template.
+func (p *Pattern) ErrorClass() errclass.Class { return p.Class }
+
+// Generate implements core.Template.
+func (p *Pattern) Generate(ctx *core.Context, line netcfg.LineRef) []core.Update {
+	f := ctx.Files[line.Device]
+	if f == nil {
+		return nil
+	}
+	role := core.Classify(f, line.Line)
+	anchored := false
+	for _, r := range p.AnchorRoles {
+		if role == r {
+			anchored = true
+			break
+		}
+	}
+	if !anchored {
+		return nil
+	}
+	if p.Guard != nil && !p.Guard(ctx, line) {
+		return nil
+	}
+	text := p.LineSkeleton
+	for _, h := range p.Holes {
+		v, ok := h.Solve(ctx, line)
+		if !ok {
+			return nil
+		}
+		text = strings.ReplaceAll(text, "{"+h.Name+"}", v)
+	}
+	edits := p.Placement(ctx, line, text)
+	if len(edits) == 0 {
+		return nil
+	}
+	return []core.Update{{
+		Edits: []netcfg.EditSet{{Device: line.Device, Edits: edits}},
+		Desc:  fmt.Sprintf("%s at %s", p.PatternName, line),
+	}}
+}
+
+// --- guards -----------------------------------------------------------------
+
+// guardStrandedStatics: the device has a bgp block, statics, no
+// redistribution, and a failing test whose destination one of the statics
+// covers — the precondition observed in every supporting diff.
+func guardStrandedStatics(ctx *core.Context, line netcfg.LineRef) bool {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil || f.BGP.Redistribute != nil || len(f.Statics) == 0 {
+		return false
+	}
+	for _, v := range ctx.FailingVerdicts() {
+		if !v.Intent.DstPrefix.IsValid() {
+			continue
+		}
+		for _, s := range f.Statics {
+			if s.Prefix.IsValid() && s.Prefix.Overlaps(v.Intent.DstPrefix) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// guardFailedSession: the anchor is the as-number line of a session the
+// simulation reports failed.
+func guardFailedSession(ctx *core.Context, line netcfg.LineRef) bool {
+	pe := peerAtLine(ctx, line)
+	if pe == nil {
+		return false
+	}
+	for _, fs := range ctx.Net.Failed {
+		if fs.Router == line.Device && fs.PeerAddr == pe.Addr {
+			return true
+		}
+	}
+	return false
+}
+
+// --- hole solvers -----------------------------------------------------------
+
+func peerAtLine(ctx *core.Context, line netcfg.LineRef) *netcfg.Peer {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil {
+		return nil
+	}
+	for _, pe := range f.BGP.Peers {
+		if pe.ASNLine == line.Line {
+			return pe
+		}
+	}
+	return nil
+}
+
+// solvePeerAddr fills {addr} with the anchor stanza's peer address.
+func solvePeerAddr(ctx *core.Context, line netcfg.LineRef) (string, bool) {
+	pe := peerAtLine(ctx, line)
+	if pe == nil {
+		return "", false
+	}
+	return pe.Addr.String(), true
+}
+
+// solveSessionASN fills {asn} by constraint solving: the only value under
+// which the session can establish is the neighbor's actual AS, so the hole
+// is an smt integer variable constrained to it. No model (unknown
+// neighbor, or the configured value already satisfies the constraint)
+// vetoes the candidate.
+func solveSessionASN(ctx *core.Context, line netcfg.LineRef) (string, bool) {
+	pe := peerAtLine(ctx, line)
+	if pe == nil {
+		return "", false
+	}
+	var neighborASN uint32
+	for _, adj := range ctx.Topo.Adjacencies(line.Device) {
+		if adj.PeerAddr == pe.Addr {
+			if nf := ctx.Files[adj.PeerNode]; nf != nil && nf.BGP != nil {
+				neighborASN = nf.BGP.ASN
+			}
+		}
+	}
+	if neighborASN == 0 || neighborASN == pe.ASN {
+		return "", false
+	}
+	v := smt.IntVar("asn")
+	prob := smt.NewProblem()
+	prob.IntDomain(v, neighborASN)
+	model, ok := prob.Solve(smt.EqInt(v, neighborASN))
+	if !ok {
+		return "", false
+	}
+	asn, ok := model.Int("asn")
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%d", asn), true
+}
+
+// --- placements -------------------------------------------------------------
+
+// placeBGPBlockEnd inserts the line as the last statement of the device's
+// bgp block.
+func placeBGPBlockEnd(ctx *core.Context, line netcfg.LineRef, text string) []netcfg.Edit {
+	f := ctx.Files[line.Device]
+	if f == nil || f.BGP == nil {
+		return nil
+	}
+	return []netcfg.Edit{netcfg.InsertBefore{At: f.BGP.End + 1, Text: text}}
+}
+
+// placeReplaceAnchor rewrites the anchor line itself.
+func placeReplaceAnchor(_ *core.Context, line netcfg.LineRef, text string) []netcfg.Edit {
+	return []netcfg.Edit{netcfg.ReplaceLine{At: line.Line, Text: text}}
+}
