@@ -270,6 +270,9 @@ func runRepair(args []string) error {
 	cacheMax := fs.Int64("cache-max-bytes", 0, "persistent store byte budget (0 = 256 MiB); oldest entries evict first")
 	noImpact := fs.Bool("no-impact", false, "disable static impact analysis (ablation: every candidate is fully scoped by the legacy dependency heuristic)")
 	impactDiff := fs.Bool("impact-differential", false, "replay every pruned validation against a full simulation and fail the run on any divergence (soundness audit)")
+	noDelta := fs.Bool("no-delta", false, "disable delta re-simulation (ablation: every affected prefix simulates from a cold start)")
+	noBatch := fs.Bool("no-batch", false, "disable the sibling-candidate parse memo (ablation: each candidate re-parses its post-edit configs)")
+	deltaDiff := fs.Bool("delta-differential", false, "replay every delta-simulated prefix against a cold full simulation and fail the run on any divergence (soundness audit)")
 	journalDir := fs.String("journal", "", "write a crash-safe session journal to this directory")
 	resume := fs.Bool("resume", false, "resume the crashed session journaled in -journal")
 	crashAfter := fs.Int("crash-after-appends", 0, "testing hook: SIGKILL this process after N journal appends")
@@ -284,7 +287,8 @@ func runRepair(args []string) error {
 	}
 	opts := acr.RepairOptions{Seed: *seed, MaxIterations: *maxIter, MaxWallClock: *timeout,
 		Parallelism: *parallel, NoCache: *noCache,
-		NoImpact: *noImpact, ImpactDifferential: *impactDiff}
+		NoImpact: *noImpact, ImpactDifferential: *impactDiff,
+		NoDelta: *noDelta, NoBatch: *noBatch, DeltaDifferential: *deltaDiff}
 	switch *strategy {
 	case "evolutionary":
 		opts.Strategy = core.Evolutionary

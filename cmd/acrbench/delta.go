@@ -1,0 +1,177 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"acr"
+	"acr/internal/core"
+)
+
+// flagJSONDelta names the machine-readable output of -exp delta.
+var flagJSONDelta string
+
+// deltaRow is one ablation mode of the delta sweep. Activations is the
+// device·prefix work unit the optimization targets: every router
+// activation performed by every prefix simulation across the mode's runs.
+type deltaRow struct {
+	Mode             string  `json:"mode"` // full | delta | delta+batch
+	WallSeconds      float64 `json:"wallSeconds"`
+	Validated        int     `json:"candidatesValidated"`
+	PrefixSims       int     `json:"prefixSimulations"`
+	DeltaReused      int     `json:"deltaReused"`
+	DeltaResimulated int     `json:"deltaResimulated"`
+	Activations      int     `json:"simActivations"`
+	CanonicalsSHA256 string  `json:"canonicalsSha256"`
+}
+
+// deltaReport is the BENCH_delta.json schema: the full-vs-delta-vs-
+// delta+batch ablation, the byte-identity verdict across modes, and the
+// headline activation-reduction ratio.
+type deltaReport struct {
+	GeneratedAt string     `json:"generatedAt"`
+	NumCPU      int        `json:"numCPU"`
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	GoVersion   string     `json:"goVersion"`
+	Short       bool       `json:"short"`
+	Cases       []string   `json:"cases"`
+	Rows        []deltaRow `json:"rows"`
+	// Deterministic is true when all three modes produced the same
+	// Canonical() SHA over the case set — delta propagation and batching
+	// changed how much work ran, not a single decision.
+	Deterministic bool `json:"deterministic"`
+	// ActivationRatio is full-mode activations over delta+batch-mode
+	// activations: how many device·prefix units of simulation work the
+	// delta path avoids per unit it performs.
+	ActivationRatio float64 `json:"activationRatio"`
+	// WallSpeedup is full-mode wall over delta+batch-mode wall.
+	WallSpeedup float64 `json:"wallSpeedup"`
+}
+
+// deltaExp measures delta re-simulation and sibling batching: a corpus
+// slice plus the Figure 2 incident repaired under three modes — full
+// (delta and the parse memo disabled), delta (memo disabled), and
+// delta+batch (the default path). All three must produce byte-identical
+// Canonical() output; the payoff is counted in router activations, the
+// device·prefix work unit, not just wall clock (which also moves with
+// interning and parse reuse).
+func deltaExp(size int, seed int64) {
+	type benchCase struct {
+		name string
+		mk   func() *acr.Case
+		opts acr.RepairOptions
+	}
+	n := min(size, 12)
+	if flagShort {
+		n = 4
+	}
+	incs := corpus(n, seed)
+	cases := []benchCase{
+		{"figure2", acr.Figure2Incident, acr.RepairOptions{Strategy: core.BruteForce}},
+	}
+	for _, inc := range incs {
+		inc := inc
+		cases = append(cases, benchCase{inc.ID,
+			func() *acr.Case { return acr.IncidentCase(inc) },
+			acr.RepairOptions{Seed: seed}})
+	}
+
+	rep := deltaReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+		Short:       flagShort,
+	}
+	for _, c := range cases {
+		rep.Cases = append(rep.Cases, c.name)
+	}
+
+	modes := []struct {
+		name    string
+		noDelta bool
+		noBatch bool
+	}{
+		{"full", true, true},
+		{"delta", false, true},
+		{"delta+batch", false, false},
+	}
+	fmt.Printf("%-12s %10s %10s %10s %8s %8s %12s\n",
+		"mode", "wall", "validated", "prefixSim", "delta", "resim", "activations")
+	shas := map[string]bool{}
+	var fullActs, comboActs int
+	var fullWall, comboWall float64
+	for _, m := range modes {
+		row := deltaRow{Mode: m.name}
+		h := sha256.New()
+		collected := false
+		sweep := func() float64 {
+			start := time.Now()
+			for _, c := range cases {
+				opts := c.opts
+				opts.NoDelta = m.noDelta
+				opts.NoBatch = m.noBatch
+				res := acr.Repair(c.mk(), opts)
+				if collected {
+					continue
+				}
+				row.Validated += res.CandidatesValidated
+				row.PrefixSims += res.PrefixSimulations
+				row.DeltaReused += res.DeltaReused
+				row.DeltaResimulated += res.DeltaResimulated
+				row.Activations += res.SimActivations
+				fmt.Fprintf(h, "case %s\n%s", c.name, res.Canonical())
+			}
+			collected = true
+			return time.Since(start).Seconds()
+		}
+		row.WallSeconds = medianWall(sweep)
+		row.CanonicalsSHA256 = hex.EncodeToString(h.Sum(nil))
+		shas[row.CanonicalsSHA256] = true
+		switch m.name {
+		case "full":
+			fullActs, fullWall = row.Activations, row.WallSeconds
+		case "delta+batch":
+			comboActs, comboWall = row.Activations, row.WallSeconds
+		}
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-12s %9.2fs %10d %10d %8d %8d %12d\n",
+			m.name, row.WallSeconds, row.Validated, row.PrefixSims,
+			row.DeltaReused, row.DeltaResimulated, row.Activations)
+	}
+
+	rep.Deterministic = len(shas) == 1
+	fmt.Printf("\ndeterminism (Canonical() SHA across full/delta/delta+batch): ")
+	if rep.Deterministic {
+		fmt.Println("IDENTICAL")
+	} else {
+		fmt.Printf("DIVERGED (%d distinct)\n", len(shas))
+	}
+	if comboActs > 0 {
+		rep.ActivationRatio = float64(fullActs) / float64(comboActs)
+		fmt.Printf("activation reduction: full=%d delta+batch=%d → %.2fx fewer device·prefix units\n",
+			fullActs, comboActs, rep.ActivationRatio)
+	}
+	if comboWall > 0 {
+		rep.WallSpeedup = fullWall / comboWall
+		fmt.Printf("wall speedup: %.2fx\n", rep.WallSpeedup)
+	}
+
+	if flagJSONDelta != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(flagJSONDelta, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "acrbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", flagJSONDelta)
+	}
+}

@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|staticprune|templates|all
+//	acrbench -exp table1|fig1|fig2|fig3|fig4|ablations|staticprior|resume|serve|parallel|delta|staticprune|templates|all
 //	         [-size 48] [-seed 1] [-short] [-json BENCH_parallel.json]
+//	         [-json-delta BENCH_delta.json]
 //	         [-json-staticprune BENCH_staticprune.json]
 //	         [-json-templates BENCH_templates.json]
 package main
@@ -30,11 +31,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, staticprune, templates, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig1, fig2, fig3, fig4, ablations, staticprior, hypothesis, resume, serve, parallel, delta, staticprune, templates, all")
 	size := flag.Int("size", 48, "corpus size for corpus-driven experiments")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	flag.BoolVar(&flagShort, "short", false, "smaller workloads (CI smoke runs)")
 	flag.StringVar(&flagJSON, "json", "BENCH_parallel.json", "machine-readable output path for -exp parallel (empty = don't write)")
+	flag.StringVar(&flagJSONDelta, "json-delta", "BENCH_delta.json", "machine-readable output path for -exp delta (empty = don't write)")
 	flag.StringVar(&flagJSONStatic, "json-staticprune", "BENCH_staticprune.json", "machine-readable output path for -exp staticprune (empty = don't write)")
 	flag.StringVar(&flagJSONTemplates, "json-templates", "BENCH_templates.json", "machine-readable output path for -exp templates (empty = don't write)")
 	flag.Parse()
@@ -61,6 +63,7 @@ func main() {
 		{"resume", resumeExp},
 		{"serve", serveExp},
 		{"parallel", parallelExp},
+		{"delta", deltaExp},
 		{"staticprune", staticPrune},
 		{"templates", templatesExp},
 	} {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"acr"
@@ -21,6 +22,25 @@ var (
 	flagShort bool
 	flagJSON  string
 )
+
+// benchReps is the timing discipline for speedup-reporting sweeps: one
+// discarded warmup sweep (it absorbs first-touch page faults, allocator
+// growth, and scheduler warmup — the noise that once made a single-shot
+// `-p 4` reading land below the serial baseline) followed by benchReps
+// timed sweeps whose median is reported. The repair itself is
+// deterministic, so repetitions reproduce every counter; only the clock
+// varies.
+const benchReps = 3
+
+func medianWall(sweep func() float64) float64 {
+	sweep() // warmup, discarded
+	walls := make([]float64, 0, benchReps)
+	for i := 0; i < benchReps; i++ {
+		walls = append(walls, sweep())
+	}
+	sort.Float64s(walls)
+	return walls[len(walls)/2]
+}
 
 // parallelRow is one configuration of the scaling sweep in the JSON output.
 // Store/StoreHits/StoreMisses/FleetDedup are set only on the persistent-
@@ -144,24 +164,32 @@ func parallelExp(size int, seed int64) {
 		for _, workers := range []int{1, 2, 4, 8} {
 			row := parallelRow{Workers: workers, Cache: cache}
 			h := sha256.New()
-			for _, c := range cases {
-				opts := c.opts
-				opts.Parallelism = workers
-				opts.NoCache = !cache
+			collected := false
+			sweep := func() float64 {
 				start := time.Now()
-				res := acr.Repair(c.mk(), opts)
-				row.WallSeconds += time.Since(start).Seconds()
-				row.Validated += res.CandidatesValidated
-				row.PrefixSims += res.PrefixSimulations
-				row.Refuted += res.StaticallyRefuted
-				row.CacheHits += res.CacheHits
-				row.CacheMisses += res.CacheMisses
-				fmt.Fprintf(h, "case %s\n%s", c.name, res.Canonical())
-				if cache && workers == 8 && c.name == widening.name {
-					wideningHits = res.CacheHits
-					wideningResolved = res.CacheHits + res.CacheMisses
+				for _, c := range cases {
+					opts := c.opts
+					opts.Parallelism = workers
+					opts.NoCache = !cache
+					res := acr.Repair(c.mk(), opts)
+					if collected {
+						continue
+					}
+					row.Validated += res.CandidatesValidated
+					row.PrefixSims += res.PrefixSimulations
+					row.Refuted += res.StaticallyRefuted
+					row.CacheHits += res.CacheHits
+					row.CacheMisses += res.CacheMisses
+					fmt.Fprintf(h, "case %s\n%s", c.name, res.Canonical())
+					if cache && workers == 8 && c.name == widening.name {
+						wideningHits = res.CacheHits
+						wideningResolved = res.CacheHits + res.CacheMisses
+					}
 				}
+				collected = true
+				return time.Since(start).Seconds()
 			}
+			row.WallSeconds = medianWall(sweep)
 			if row.Validated > 0 {
 				row.SimsPerCandidate = float64(row.PrefixSims) / float64(row.Validated)
 			}

@@ -1,0 +1,78 @@
+package acr_test
+
+import (
+	"testing"
+
+	acr "acr"
+)
+
+// TestDeltaDifferentialCorpus is the delta simulator's soundness
+// regression net, mirroring TestImpactDifferentialCorpus: every corpus
+// incident is repaired with delta-differential mode on, so every prefix
+// the delta propagation answers is replayed against a cold full
+// simulation and any fixpoint disagreement terminates the run with
+// "delta-divergence". In -short mode a sample runs; the full 120-incident
+// sweep is the delta-soundness CI job.
+func TestDeltaDifferentialCorpus(t *testing.T) {
+	size := 120
+	if testing.Short() {
+		size = 12
+	}
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: size, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, resimulated := 0, 0
+	for _, inc := range incs {
+		r := acr.RunIncident(inc, acr.RepairOptions{DeltaDifferential: true})
+		if r.Termination == "delta-divergence" {
+			t.Errorf("%s: delta simulation diverged from full simulation", inc.ID)
+		}
+		reused += r.DeltaReused
+		resimulated += r.DeltaResimulated
+	}
+	t.Logf("%d incidents: %d prefixes answered by delta propagation, %d fell back to cold simulation",
+		len(incs), reused, resimulated)
+	if reused == 0 {
+		t.Error("delta propagation never answered a prefix across the corpus; the differential net is vacuous")
+	}
+}
+
+// TestDeltaAblationByteIdentical pins the tentpole acceptance contract:
+// with and without delta re-simulation (and sibling batching), the search
+// makes byte-identical decisions — same Canonical() output — while the
+// delta run performs at least 5x fewer router activations, the
+// device·prefix unit of simulation work.
+func TestDeltaAblationByteIdentical(t *testing.T) {
+	size := 24
+	if testing.Short() {
+		size = 8
+	}
+	incs, err := acr.GenerateCorpus(acr.CorpusOptions{Size: size, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actsWith, actsWithout := 0, 0
+	for _, inc := range incs {
+		c := acr.IncidentCase(inc)
+		with := acr.Repair(c, acr.RepairOptions{})
+		without := acr.Repair(c, acr.RepairOptions{NoDelta: true, NoBatch: true})
+		if with.Canonical() != without.Canonical() {
+			t.Errorf("%s: Canonical() differs between delta and -no-delta runs:\n--- delta:\n%s\n--- no-delta:\n%s",
+				inc.ID, with.Canonical(), without.Canonical())
+		}
+		actsWith += with.SimActivations
+		actsWithout += without.SimActivations
+	}
+	ratio := float64(actsWithout) / float64(max(actsWith, 1))
+	t.Logf("router activations: %d with delta, %d without (%.2fx reduction)",
+		actsWith, actsWithout, ratio)
+	if actsWith >= actsWithout {
+		t.Errorf("delta re-simulation did not reduce activation work: %d with vs %d without", actsWith, actsWithout)
+	}
+	// The acceptance bar: >= 5x fewer router activations on the corpus.
+	// The -short sample is too small to pin a ratio; the full run is not.
+	if !testing.Short() && ratio < 5.0 {
+		t.Errorf("activation reduction regressed below the 5x acceptance bar: %.2fx", ratio)
+	}
+}

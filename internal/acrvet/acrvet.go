@@ -212,13 +212,16 @@ func Run(root string, pkgs []string) ([]Finding, error) {
 }
 
 // DefaultPackages is the merge-path package set CI vets: the engine, the
-// verifier, the impact/lint analyzers, the journal, the persistent
-// evaluation store, and the template registry — everything whose output
-// feeds Canonical(), the write-ahead journal, the store the engine reads
-// evaluations from, or the search digest journals resume under.
+// verifier, the BGP simulator (including the delta re-simulation and
+// route-interning paths), the impact/lint analyzers, the journal, the
+// persistent evaluation store, and the template registry — everything
+// whose output feeds Canonical(), the write-ahead journal, the store the
+// engine reads evaluations from, or the search digest journals resume
+// under.
 var DefaultPackages = []string{
 	"internal/core",
 	"internal/verify",
+	"internal/bgp",
 	"internal/analysis",
 	"internal/journal",
 	"internal/evalstore",

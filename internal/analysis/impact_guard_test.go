@@ -10,14 +10,21 @@ import (
 )
 
 // TestImpactCoversASTSurface pins the full field inventory of the parsed
-// configuration AST (everything reachable from netcfg.File). The impact
-// analysis (internal/analysis/impact.go) computes a semantic diff over
-// exactly these fields; a field it does not know about is silently ignored
-// by the diff, which makes the impact set too narrow — the unsound
-// direction. Adding a field to the AST therefore must fail THIS test until
+// configuration AST (everything reachable from netcfg.File). Two layers
+// compute semantic diffs over exactly these fields: the impact analysis
+// (internal/analysis/impact.go), whose diff prunes the candidate space,
+// and the delta re-simulation seed (internal/verify, which derives the
+// dirty device set a delta run re-activates from the edited configs). A
+// field neither layer knows about is silently ignored, which makes the
+// impact set and the dirty frontier too narrow — the unsound direction
+// for both. Adding a field to the AST therefore must fail THIS test until
 // someone (a) extends the impact diff to account for the new field, or
-// convinces themselves the existing handling subsumes it, and (b) adds the
-// field to the inventory below. The differential corpus sweep would
+// convinces themselves the existing handling subsumes it, (b) confirms
+// the delta path re-activates every router the field can influence (the
+// dirty set is per-device, so per-device fields are covered; anything
+// with cross-device reach needs explicit handling), and (c) adds the
+// field to the inventory below. The differential corpus sweeps
+// (TestImpactDifferentialCorpus, TestDeltaDifferentialCorpus) would
 // eventually catch a missed field too, but only if the corpus happens to
 // exercise it; this guard catches it at compile-adjacent time.
 func TestImpactCoversASTSurface(t *testing.T) {
@@ -121,9 +128,11 @@ func TestImpactCoversASTSurface(t *testing.T) {
 		missing := diffSets(got, known)
 		stale := diffSets(known, got)
 		if len(missing) > 0 {
-			t.Errorf("netcfg AST grew fields the impact analysis has never reviewed: %v\n"+
+			t.Errorf("netcfg AST grew fields the impact analysis and delta re-simulation have never reviewed: %v\n"+
 				"Extend the semantic diff in internal/analysis/impact.go to account for them "+
-				"(or document why existing handling subsumes them), then add them to this inventory.",
+				"(or document why existing handling subsumes them), confirm the delta dirty-set "+
+				"derivation in internal/verify re-activates every router the fields can influence, "+
+				"then add them to this inventory.",
 				missing)
 		}
 		if len(stale) > 0 {

@@ -58,6 +58,11 @@ type Router struct {
 	Sessions []*Session
 	Origins  []Origination
 	Statics  []*netcfg.StaticRoute
+
+	// interns points at the owning Net's intern table so the policy
+	// pipeline (which only sees Routers) can stamp and dedupe finalized
+	// routes. Nil for hand-built Routers in tests.
+	interns *internTable
 }
 
 // Net is a compiled network: topology plus parsed configurations resolved
@@ -69,19 +74,23 @@ type Net struct {
 	Routers map[string]*Router
 	Order   []string // deterministic activation order (topology insertion order)
 	Failed  []*FailedSession
+
+	// intern dedupes route keys and AS paths across this Net's
+	// simulations; see internTable for the sharing and concurrency rules.
+	intern *internTable
 }
 
 // Compile resolves configurations against the topology. Configurations
 // that fail to parse entirely are treated as empty (their router runs no
 // BGP); callers interested in parse errors should Parse first.
 func Compile(t *topo.Network, files map[string]*netcfg.File) *Net {
-	n := &Net{Topo: t, Files: files, Routers: map[string]*Router{}}
+	n := &Net{Topo: t, Files: files, Routers: map[string]*Router{}, intern: newInternTable()}
 	for _, nd := range t.Nodes() {
 		f := files[nd.Name]
 		if f == nil {
 			f = &netcfg.File{Device: nd.Name}
 		}
-		r := &Router{Name: nd.Name, RID: nd.RouterID, File: f}
+		r := &Router{Name: nd.Name, RID: nd.RouterID, File: f, interns: n.intern}
 		if f.BGP != nil {
 			r.ASN = f.BGP.ASN
 			if f.BGP.RouterID.IsValid() {

@@ -1,0 +1,228 @@
+package bgp
+
+import "net/netip"
+
+// This file implements delta re-simulation: running a candidate
+// configuration's per-prefix fixpoint from the base outcome instead of
+// from a cold start. The base outcome's stable RIBs (Final + AdjIn) seed
+// the state; only the edited ("dirty") devices are re-derived and
+// force-activated; from there a worklist propagates re-activations to
+// exactly the routers whose inputs actually changed, and the run
+// terminates when the frontier goes quiet. Routers the wave never reaches
+// keep their base state by structural sharing — their route pointers are
+// carried into the candidate outcome untouched.
+//
+// Soundness rests on two facts. First, a router whose configuration and
+// whose entire adj-RIB-in are unchanged recomputes exactly the same best
+// route (selection is a pure function of origins + adj-in), so skipping
+// its activation cannot lose a transition: any input change reaches it
+// through a neighbor's push, which enqueues it. Second, the caller only
+// uses delta when the session fingerprint is unchanged (see
+// verify.Incremental), so the base adj-in's session structure is the
+// candidate's session structure and stale entries can only differ in
+// route content, which the dirty-device re-derivation and forced pushes
+// rewrite. The one caveat is multi-stability: a network with several
+// fixpoints could converge to a different one when started warm. The
+// -delta-differential mode, FuzzDeltaSim, and the corpus byte-identity
+// gate exist to catch that class; every divergence found is a bug.
+
+// DeltaSimulatePrefix re-simulates one prefix for net n (the candidate
+// compilation) starting from base (the converged outcome of the
+// pre-edit net), re-deriving and force-activating only the dirty
+// routers — the devices whose configuration text changed. The false
+// return refuses the shortcut (non-converged or AdjIn-less base, unknown
+// dirty router, cancellation, pass bound exhausted) and the caller must
+// fall back to a cold SimulatePrefix.
+func DeltaSimulatePrefix(n *Net, base *PrefixOutcome, dirty []string, prefix netip.Prefix, opts Options) (*PrefixOutcome, bool) {
+	if base == nil || !base.Converged || base.Final == nil || base.AdjIn == nil {
+		return nil, false
+	}
+	for _, d := range dirty {
+		if n.Routers[d] == nil {
+			return nil, false
+		}
+	}
+	if opts.PrefixHook != nil {
+		opts.PrefixHook(prefix)
+	}
+	maxPasses := opts.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 2*len(n.Order) + 20
+		if maxPasses < 32 {
+			maxPasses = 32
+		}
+	}
+
+	// Seed the state from the base outcome, copy-on-write: best is a
+	// fresh map (snapshots alias it), adj-in inner maps stay shared with
+	// the immutable base until a router's first write.
+	st := &prefixState{
+		adjIn: make(map[string]map[netip.Addr]*Route, len(n.Order)),
+		best:  make(map[string]*Route, len(n.Order)),
+	}
+	owned := make(map[string]bool, len(dirty))
+	for _, name := range n.Order {
+		if m := base.AdjIn[name]; m != nil {
+			st.adjIn[name] = m
+		} else {
+			st.adjIn[name] = map[netip.Addr]*Route{}
+			owned[name] = true
+		}
+		if r := base.Final[name]; r != nil {
+			st.best[name] = r
+		}
+	}
+	ownAdj := func(name string) map[netip.Addr]*Route {
+		if !owned[name] {
+			cp := make(map[netip.Addr]*Route, len(st.adjIn[name]))
+			for a, rt := range st.adjIn[name] { //acrvet:ordered — map copy
+				cp[a] = rt
+			}
+			st.adjIn[name] = cp
+			owned[name] = true
+		}
+		return st.adjIn[name]
+	}
+
+	// Phase 1: rebuild each dirty router's entire adj-RIB-in under the
+	// candidate's policies from the neighbors' (still-base) best routes —
+	// the same reconstruction RederiveLeaves performs. Base entries import
+	// through the OLD import policies, so every entry is stale on a device
+	// whose config changed.
+	acts := 0
+	dirtySet := make(map[string]bool, len(dirty))
+	for _, d := range dirty {
+		dirtySet[d] = true
+	}
+	for _, name := range n.Order {
+		if !dirtySet[name] {
+			continue
+		}
+		r := n.Routers[name]
+		adj := ownAdj(name)
+		for a := range adj { //acrvet:ordered — clearing for rebuild
+			delete(adj, a)
+		}
+		for _, ls := range r.Sessions {
+			ns := n.sessionFrom(ls.PeerName, ls.LocalAddr)
+			if ns == nil {
+				continue
+			}
+			nbBest := st.best[ls.PeerName]
+			if nbBest == nil {
+				continue
+			}
+			adv, ok := processExport(n.Routers[ls.PeerName], ns, nbBest, nil)
+			if !ok {
+				continue
+			}
+			in, ok, _ := processImport(r, ls, adv, nil)
+			if !ok {
+				continue
+			}
+			adj[ns.LocalAddr] = in
+		}
+	}
+
+	// Phase 2: force-activate the dirty routers. Forcing runs the push
+	// loop even when the best route is unchanged, because a changed
+	// EXPORT policy (or origination attribute, or router ID stamped by
+	// the neighbor's import) alters what neighbors hear without moving
+	// the local best. Receivers whose adj-in actually changed form the
+	// first frontier.
+	pending := map[string]bool{}
+	for _, name := range n.Order {
+		if !dirtySet[name] {
+			continue
+		}
+		acts++
+		n.activateDelta(st, name, prefix, true, ownAdj, pending)
+	}
+
+	// Phase 3: worklist to fixpoint. Each pass activates the frontier in
+	// topology order; a router re-enters the frontier only when a push
+	// changed its adj-in. Quiet frontier = converged.
+	for pass := 1; len(pending) > 0; pass++ {
+		if pass > maxPasses || opts.canceled() {
+			return nil, false
+		}
+		next := map[string]bool{}
+		for _, name := range n.Order {
+			if !pending[name] {
+				continue
+			}
+			acts++
+			n.activateDelta(st, name, prefix, false, ownAdj, next)
+		}
+		pending = next
+	}
+	return &PrefixOutcome{Prefix: prefix, Converged: true, Passes: base.Passes,
+		Final: st.snapshot(n.Order), AdjIn: st.adjIn, Activations: acts}, true
+}
+
+// sameRoute is the delta path's change predicate: canonical key plus the
+// advertising router ID. Key() deliberately omits PeerRID (within one
+// net, the adj-in slot determines it), but a delta run mixes base-net
+// routes into candidate-net slots, so a router-ID edit would otherwise
+// leave a key-equal, RID-stale entry in place and corrupt tie-breaking.
+func sameRoute(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.PeerRID == b.PeerRID && routeKey(a) == routeKey(b)
+}
+
+// activateDelta is activate() for the delta run: it recomputes router
+// name's best route and pushes changes to neighbors, marking every
+// neighbor whose adj-in changed in frontier. With force set the push loop
+// runs even when the best is unchanged (see DeltaSimulatePrefix phase 2).
+// Writes to a neighbor's adj-in go through ownAdj to preserve the base
+// outcome's immutability.
+func (n *Net) activateDelta(st *prefixState, name string, prefix netip.Prefix, force bool, ownAdj func(string) map[netip.Addr]*Route, frontier map[string]bool) {
+	r := n.Routers[name]
+	var candidates []*Route
+	for _, o := range r.Origins {
+		if o.Prefix != prefix {
+			continue
+		}
+		if rt, ok := originRoute(r, o, nil); ok {
+			candidates = append(candidates, rt)
+		}
+	}
+	for _, rt := range st.adjIn[name] { //acrvet:ordered — SelectBest is order-insensitive
+		candidates = append(candidates, rt)
+	}
+	best := SelectBest(candidates)
+	if !force && sameRoute(best, st.best[name]) {
+		return
+	}
+	if best != nil {
+		st.best[name] = best
+	} else {
+		delete(st.best, name)
+	}
+	for _, s := range r.Sessions {
+		nb := s.PeerName
+		prev := st.adjIn[nb][s.LocalAddr]
+		var next *Route
+		if best != nil {
+			if adv, ok := processExport(r, s, best, nil); ok {
+				nbSess := n.sessionFrom(nb, s.LocalAddr)
+				if nbSess != nil {
+					if in, ok, _ := processImport(n.Routers[nb], nbSess, adv, nil); ok {
+						next = in
+					}
+				}
+			}
+		}
+		if !sameRoute(prev, next) {
+			adj := ownAdj(nb)
+			if next == nil {
+				delete(adj, s.LocalAddr)
+			} else {
+				adj[s.LocalAddr] = next
+			}
+			frontier[nb] = true
+		}
+	}
+}

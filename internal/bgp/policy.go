@@ -130,7 +130,7 @@ func processImport(r *Router, s *Session, adv *Route, tr *lineRefs) (*Route, boo
 	out.PeerAddr = s.PeerAddr
 	out.PeerRID = s.PeerRID
 	out.NextHop = s.PeerAddr
-	return out, true, ""
+	return finalizeRoute(r.interns, out), true, ""
 }
 
 // processExport models the send side: export policies, then the sender
@@ -153,7 +153,7 @@ func processExport(r *Router, s *Session, best *Route, tr *lineRefs) (*Route, bo
 	out.PeerAddr = netip.Addr{}
 	out.PeerRID = netip.Addr{}
 	out.NextHop = netip.Addr{}
-	return out, true
+	return finalizeRoute(r.interns, out), true
 }
 
 // originRoute materializes an origination as a local route.
@@ -173,7 +173,7 @@ func originRoute(r *Router, o Origination, tr *lineRefs) (*Route, bool) {
 		if !ok {
 			return nil, false
 		}
-		return res, true
+		return finalizeRoute(r.interns, res), true
 	}
-	return rt, true
+	return finalizeRoute(r.interns, rt), true
 }

@@ -64,15 +64,23 @@ type Route struct {
 	// PeerRID is the advertising neighbor's router ID, used in best-path
 	// tie-breaking (SrcPeer only; for local routes the router's own ID).
 	PeerRID netip.Addr
+	// key memoizes the canonical Key() rendering. Stamped by finalizeRoute
+	// once a route becomes an immutable RIB value; empty on mid-policy
+	// clones, which are still mutable.
+	key string
 }
 
 // DefaultLocalPref is the local preference assigned when no policy sets one.
 const DefaultLocalPref = 100
 
-// clone returns a deep copy (the AS path is the only reference field).
+// clone returns a mutable copy. The AS path is shared, not copied: every
+// mutation site (policy overwrite/prepend, the export prepend) replaces
+// the slice with a freshly built one rather than writing through it, so
+// structural sharing is safe and the hot path stops allocating a slice
+// per clone. The memoized key is reset because the copy may be mutated.
 func (r *Route) clone() *Route {
 	cp := *r
-	cp.ASPath = append([]uint32(nil), r.ASPath...)
+	cp.key = ""
 	return &cp
 }
 
@@ -96,10 +104,15 @@ func (r *Route) PathString() string {
 }
 
 // Key renders a canonical string for state hashing: every field that can
-// influence future behavior must appear.
+// influence future behavior must appear. Finalized routes answer from the
+// memoized interned key; unstamped routes (hand-built in tests, or
+// mid-policy copies) compute a fresh rendering without memoizing, which
+// keeps Key race-free on routes shared across verifier clones.
 func (r *Route) Key() string {
-	return fmt.Sprintf("%s|%s|lp%d|med%d|o%d|nh%s|s%d|p%s",
-		r.Prefix, r.PathString(), r.LocalPref, r.MED, r.Origin, r.NextHop, r.Src, r.PeerAddr)
+	if r.key != "" {
+		return r.key
+	}
+	return buildKey(r)
 }
 
 // Better reports whether route a is preferred over b under the standard

@@ -120,10 +120,48 @@ func TestHasAS(t *testing.T) {
 func TestCloneIsolation(t *testing.T) {
 	r := mkRoute(nil)
 	c := r.clone()
-	c.ASPath[0] = 99
+	// Scalar fields are copied; the AS path is deliberately shared, and
+	// every mutation site replaces the slice instead of writing through it
+	// (policy overwrite/prepend and the export prepend all build fresh
+	// slices), so replacement must leave the original untouched.
+	c.ASPath = []uint32{99}
 	c.LocalPref = 7
 	if r.ASPath[0] != 1 || r.LocalPref != DefaultLocalPref {
 		t.Error("clone shares state with original")
+	}
+}
+
+func TestCloneResetsMemoizedKey(t *testing.T) {
+	r := finalizeRoute(nil, mkRoute(nil))
+	if r.key == "" || r.Key() != buildKey(r) {
+		t.Fatalf("finalizeRoute did not stamp the key: %q", r.key)
+	}
+	c := r.clone()
+	if c.key != "" {
+		t.Errorf("clone kept the memoized key %q; mutations would go unseen", c.key)
+	}
+	c.LocalPref = 7
+	if c.Key() == r.Key() {
+		t.Error("mutated clone renders the original's key")
+	}
+}
+
+func TestInternTableDedupes(t *testing.T) {
+	tab := newInternTable()
+	a := finalizeRoute(tab, mkRoute(nil))
+	b := finalizeRoute(tab, mkRoute(nil))
+	if a.Key() != b.Key() {
+		t.Fatalf("equal routes got different keys: %q vs %q", a.Key(), b.Key())
+	}
+	// One canonical key string and one AS-path backing in the table.
+	if len(tab.keys) != 1 {
+		t.Errorf("table holds %d key strings, want 1", len(tab.keys))
+	}
+	if len(tab.paths) != 1 {
+		t.Errorf("table holds %d AS paths, want 1", len(tab.paths))
+	}
+	if &a.ASPath[0] != &b.ASPath[0] {
+		t.Error("equal AS paths not interned to one slice")
 	}
 }
 

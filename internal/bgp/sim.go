@@ -25,10 +25,19 @@ type PrefixOutcome struct {
 	// Final is the stable best-route map (router name → route, absent when
 	// the router has no route). Nil when not converged.
 	Final map[string]*Route
+	// AdjIn is the stable adj-RIB-in at convergence
+	// (router → sender's local address → post-import route), retained so
+	// delta re-simulation can seed a candidate's fixpoint from it. Nil
+	// when not converged. Immutable like the rest of the outcome.
+	AdjIn map[string]map[netip.Addr]*Route
 	// Cycle holds the repeating sequence of best-route maps when the
 	// prefix flaps: the control plane visits these states forever. Nil
 	// when converged.
 	Cycle []map[string]*Route
+	// Activations counts router activations executed to reach this
+	// outcome: the unit of simulation work the delta benchmark compares.
+	// Observational only — never part of Canonical() or verdicts.
+	Activations int
 }
 
 // Phases returns the dataplane-relevant states: the single final state
@@ -83,7 +92,8 @@ type Outcome struct {
 // cooperative cancellation. A canceled Outcome reflects a partial
 // computation and must not feed verification decisions.
 func (o *Outcome) Canceled() bool {
-	for _, po := range o.ByPrefix {
+	for _, po := range o.ByPrefix { //acrvet:ordered boolean any-reduction; order cannot change the result
+
 		if po.Canceled {
 			return true
 		}
@@ -93,7 +103,8 @@ func (o *Outcome) Canceled() bool {
 
 // Converged reports whether every prefix converged.
 func (o *Outcome) Converged() bool {
-	for _, po := range o.ByPrefix {
+	for _, po := range o.ByPrefix { //acrvet:ordered boolean all-reduction; order cannot change the result
+
 		if !po.Converged {
 			return false
 		}
@@ -177,9 +188,11 @@ func routeKey(r *Route) string {
 }
 
 // hash digests the complete state; any field that can influence future
-// transitions must be included.
+// transitions must be included. Finalized routes answer Key() from their
+// interned stamp, so hashing is a sequence of plain writes — no fmt.
 func (st *prefixState) hash(order []string) uint64 {
 	h := fnv.New64a()
+	var buf []byte
 	for _, name := range order {
 		h.Write([]byte(name))
 		h.Write([]byte{'='})
@@ -190,7 +203,11 @@ func (st *prefixState) hash(order []string) uint64 {
 		}
 		sort.Slice(peers, func(i, j int) bool { return peers[i].Less(peers[j]) })
 		for _, a := range peers {
-			fmt.Fprintf(h, "|%s:%s", a, st.adjIn[name][a].Key())
+			buf = append(buf[:0], '|')
+			buf = a.AppendTo(buf)
+			buf = append(buf, ':')
+			h.Write(buf)
+			h.Write([]byte(st.adjIn[name][a].Key()))
 		}
 		h.Write([]byte{'\n'})
 	}
@@ -227,24 +244,29 @@ func SimulatePrefix(n *Net, prefix netip.Prefix, opts Options) *PrefixOutcome {
 	st := newPrefixState(n)
 	seen := map[uint64]int{}       // state hash → pass index it was first seen after
 	snaps := []map[string]*Route{} // snapshot after each pass
+	acts := 0
 
 	for pass := 1; pass <= maxPasses; pass++ {
 		if opts.canceled() {
-			return &PrefixOutcome{Prefix: prefix, Canceled: true, Passes: pass}
+			return &PrefixOutcome{Prefix: prefix, Canceled: true, Passes: pass, Activations: acts}
 		}
 		changed := false
 		for _, name := range n.Order {
+			acts++
 			if n.activate(st, name, prefix) {
 				changed = true
 			}
 		}
 		if !changed {
-			return &PrefixOutcome{Prefix: prefix, Converged: true, Passes: pass, Final: st.snapshot(n.Order)}
+			// The state is stable; hand the adj-RIB-in over to the outcome
+			// (st is dead from here) so delta re-simulation can seed from it.
+			return &PrefixOutcome{Prefix: prefix, Converged: true, Passes: pass,
+				Final: st.snapshot(n.Order), AdjIn: st.adjIn, Activations: acts}
 		}
 		h := st.hash(n.Order)
 		if first, ok := seen[h]; ok {
 			// States after passes first..pass-1 repeat forever.
-			return &PrefixOutcome{Prefix: prefix, Converged: false, Passes: pass, Cycle: snaps[first:]}
+			return &PrefixOutcome{Prefix: prefix, Converged: false, Passes: pass, Cycle: snaps[first:], Activations: acts}
 		}
 		seen[h] = len(snaps)
 		snaps = append(snaps, st.snapshot(n.Order))
@@ -255,7 +277,7 @@ func SimulatePrefix(n *Net, prefix netip.Prefix, opts Options) *PrefixOutcome {
 	if len(tail) > 8 {
 		tail = tail[len(tail)-8:]
 	}
-	return &PrefixOutcome{Prefix: prefix, Converged: false, Passes: maxPasses, Cycle: tail}
+	return &PrefixOutcome{Prefix: prefix, Converged: false, Passes: maxPasses, Cycle: tail, Activations: acts}
 }
 
 // activate recomputes router name's best route for prefix and, on change,
@@ -272,7 +294,7 @@ func (n *Net) activate(st *prefixState, name string, prefix netip.Prefix) bool {
 			candidates = append(candidates, rt)
 		}
 	}
-	for _, rt := range st.adjIn[name] {
+	for _, rt := range st.adjIn[name] { //acrvet:ordered SelectBest applies the Better total order, so candidate collection order is immaterial
 		candidates = append(candidates, rt)
 	}
 	best := SelectBest(candidates)

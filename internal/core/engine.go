@@ -97,6 +97,26 @@ type Options struct {
 	// enforcement mode the corpus CI job runs under. Purely observational
 	// on a sound analysis, so it is excluded from SearchDigest.
 	ImpactDifferential bool
+	// NoDelta disables delta re-simulation in the incremental verifier
+	// (ablation): every needed prefix simulation runs from a cold start
+	// instead of propagating from the edited devices over the base
+	// outcome. The search trajectory — and Canonical() — is identical
+	// either way; only the work counters differ, so the setting is part
+	// of SearchDigest for the same reason NoImpact is.
+	NoDelta bool
+	// DeltaDifferential replays every delta-simulated prefix against a
+	// cold full simulation and fails the run with termination
+	// "delta-divergence" if the fixpoints differ — the soundness
+	// enforcement mode the delta-soundness CI job runs under. Purely
+	// observational on a sound delta, so excluded from SearchDigest.
+	DeltaDifferential bool
+	// NoBatch disables the sibling-batch parse memo: each candidate in a
+	// dispatch group re-parses its post-edit configurations instead of
+	// sharing parses with siblings that produced identical text. Purely a
+	// cache of a deterministic function — verdicts, trajectory, and every
+	// counter are identical — so it is excluded from SearchDigest (like
+	// Parallelism: scheduling detail, not search input).
+	NoBatch bool
 	// Store, when non-nil, is the persistent content-addressed evaluation
 	// store layered under the in-memory cache (internal/evalstore): digests
 	// the cache misses are looked up there before simulating, and freshly
@@ -300,6 +320,26 @@ type Result struct {
 	// leaf-local refinement avoided beyond what slice scoping alone saves.
 	LeafDerivations int
 
+	// --- delta re-simulation --------------------------------------------
+	//
+	// Work counters of the delta BGP simulator (all 0 with
+	// Options.NoDelta or FullValidation). Like the impact counters they
+	// measure effort, not trajectory, and are excluded from Canonical():
+	// a delta run and a -no-delta run decide identically.
+
+	// DeltaReused counts prefix evaluations answered by delta
+	// re-simulation: seeded from the parent outcome, only the edit's wave
+	// of routers re-activated.
+	DeltaReused int
+	// DeltaResimulated counts prefix evaluations where the delta path
+	// refused the shortcut (non-converged base, new origination, pass
+	// bound) and a cold simulation ran instead.
+	DeltaResimulated int
+	// SimActivations totals router activations across every prefix
+	// simulation of the run — the device·prefix work unit the delta
+	// benchmark's ≥5× reduction target is measured in.
+	SimActivations int
+
 	// --- static-analysis prior ------------------------------------------
 
 	// StaticDiagnostics counts the static-analysis findings on the base
@@ -374,6 +414,10 @@ func (r *Result) Summary() string {
 	if r.StaticallyRefuted+r.ImpactScoped+r.ImpactBroad > 0 {
 		fmt.Fprintf(&sb, "  impact: refuted=%d scoped=%d broad=%d leafDerived=%d\n",
 			r.StaticallyRefuted, r.ImpactScoped, r.ImpactBroad, r.LeafDerivations)
+	}
+	if r.DeltaReused+r.DeltaResimulated+r.SimActivations > 0 {
+		fmt.Fprintf(&sb, "  delta: reused=%d resimulated=%d activations=%d\n",
+			r.DeltaReused, r.DeltaResimulated, r.SimActivations)
 	}
 	if r.StaticDiagnostics > 0 {
 		fmt.Fprintf(&sb, "  static prior: diagnostics=%d seededLines=%d templatesPruned=%d\n",
@@ -613,6 +657,16 @@ func RepairContext(ctx context.Context, p Problem, opts Options) *Result {
 					res.Logs = append(res.Logs, log)
 					sink.iteration(log)
 					return finish("impact-divergence")
+				}
+				var dde *verify.DeltaDivergenceError
+				if errors.As(out.err, &dde) {
+					// The delta simulator reached a fixpoint a cold
+					// simulation would not; same terminal treatment.
+					bv.close()
+					res.recordError(&RepairError{Kind: KindDeltaDivergence, Op: "validate", Candidate: pr.update.Desc, Err: dde})
+					res.Logs = append(res.Logs, log)
+					sink.iteration(log)
+					return finish("delta-divergence")
 				}
 				continue // malformed or quarantined candidate
 			}
@@ -991,6 +1045,9 @@ func checkOnce(ctx context.Context, st *valStats, iv *verify.Incremental, pr *pr
 		st.prefixSims += stats.PrefixesSimulated
 		st.intentChecks += stats.IntentsReverified
 		st.derived += stats.PrefixesDerived
+		st.deltaReused += stats.PrefixesDelta
+		st.deltaResim += stats.DeltaFallbacks
+		st.activations += stats.Activations
 		if err == nil && !opts.NoImpact {
 			switch {
 			case stats.Refuted:
@@ -1159,6 +1216,8 @@ func newCandidate(p Problem, configs map[string]*netcfg.Config, descs []string, 
 	iv := verify.NewIncremental(p.Topo, configs, p.Intents, opts.SimOpts)
 	iv.NoImpact = opts.NoImpact
 	iv.Differential = opts.ImpactDifferential
+	iv.NoDelta = opts.NoDelta
+	iv.DeltaDifferential = opts.DeltaDifferential
 	c := &candidate{
 		configs: configs,
 		iv:      iv,

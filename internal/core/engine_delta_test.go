@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"acr/internal/core"
+	"acr/internal/scenario"
+)
+
+// TestDeltaAblationIdenticalFigure2 pins the tentpole contract at engine
+// scope: a delta+batch run and a run with both disabled decide
+// byte-identically (same Canonical()), while the delta run does strictly
+// less device·prefix work.
+func TestDeltaAblationIdenticalFigure2(t *testing.T) {
+	p := problemOf(scenario.Figure2())
+	withDelta := core.Repair(p, core.Options{Strategy: core.BruteForce})
+	without := core.Repair(p, core.Options{Strategy: core.BruteForce, NoDelta: true, NoBatch: true})
+	if withDelta.Canonical() != without.Canonical() {
+		t.Fatalf("Canonical() differs between delta and -no-delta runs:\n--- delta:\n%s\n--- no-delta:\n%s",
+			withDelta.Canonical(), without.Canonical())
+	}
+	if withDelta.DeltaReused == 0 {
+		t.Error("delta run never reused a base outcome; the ablation is vacuous")
+	}
+	if without.DeltaReused != 0 || without.DeltaResimulated != 0 {
+		t.Errorf("-no-delta run reports delta counters: reused=%d resimulated=%d",
+			without.DeltaReused, without.DeltaResimulated)
+	}
+	if withDelta.SimActivations >= without.SimActivations {
+		t.Errorf("delta did not reduce activations: %d with vs %d without",
+			withDelta.SimActivations, without.SimActivations)
+	}
+}
+
+// TestDeltaCountersExcludedFromCanonical pins the exclusion contract:
+// DeltaReused/DeltaResimulated/SimActivations are work counters, so
+// mutating them must not move a byte of Canonical() — otherwise the
+// delta-vs-no-delta byte-identity ablation could never hold.
+func TestDeltaCountersExcludedFromCanonical(t *testing.T) {
+	p := problemOf(scenario.Figure2())
+	res := core.Repair(p, core.Options{Strategy: core.BruteForce})
+	before := res.Canonical()
+	res.DeltaReused += 1000
+	res.DeltaResimulated += 1000
+	res.SimActivations += 1000
+	if res.Canonical() != before {
+		t.Error("delta work counters leak into Canonical()")
+	}
+	// They do surface in the human-facing summary.
+	if !strings.Contains(res.Summary(), "delta:") {
+		t.Errorf("Summary() missing the delta line:\n%s", res.Summary())
+	}
+}
+
+// TestDeltaDigestSeparatesSessions pins the resume-compatibility rule:
+// NoDelta moves the checkpointed work counters, so it is part of
+// SearchDigest (like NoImpact); NoBatch and DeltaDifferential move
+// nothing and are excluded.
+func TestDeltaDigestSeparatesSessions(t *testing.T) {
+	base := core.Options{}.SearchDigest()
+	if d := (core.Options{NoDelta: true}).SearchDigest(); d == base {
+		t.Error("NoDelta does not change SearchDigest; delta and -no-delta sessions would mix")
+	}
+	if d := (core.Options{NoBatch: true}).SearchDigest(); d != base {
+		t.Error("NoBatch changes SearchDigest; the parse memo is a pure cache and must not split sessions")
+	}
+	if d := (core.Options{DeltaDifferential: true}).SearchDigest(); d != base {
+		t.Error("DeltaDifferential changes SearchDigest; observational replay must not split sessions")
+	}
+}
+
+// TestDeltaDifferentialFigure2 runs the engine with the per-prefix
+// differential on: every delta-simulated prefix is replayed against a
+// cold simulation inside the check, and any divergence terminates the
+// run. A clean pass on the worked incident is the smoke version of the
+// corpus-wide delta-soundness CI job.
+func TestDeltaDifferentialFigure2(t *testing.T) {
+	p := problemOf(scenario.Figure2())
+	res := core.Repair(p, core.Options{Strategy: core.BruteForce, DeltaDifferential: true})
+	if res.Termination == "delta-divergence" {
+		t.Fatalf("delta simulation diverged from full simulation:\n%s", res.Summary())
+	}
+	want := core.Repair(p, core.Options{Strategy: core.BruteForce})
+	if res.Canonical() != want.Canonical() {
+		t.Error("DeltaDifferential changed the result; replay must be observational")
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +40,9 @@ type valStats struct {
 	scoped       int
 	broad        int
 	derived      int
+	deltaReused  int
+	deltaResim   int
+	activations  int
 	retries      int
 	panicked     int
 	timedOut     int
@@ -54,6 +59,9 @@ func (s *valStats) mergeInto(res *Result) {
 	res.ImpactScoped += s.scoped
 	res.ImpactBroad += s.broad
 	res.LeafDerivations += s.derived
+	res.DeltaReused += s.deltaReused
+	res.DeltaResimulated += s.deltaResim
+	res.SimActivations += s.activations
 	res.ValidationRetries += s.retries
 	res.CandidatesPanicked += s.panicked
 	res.CandidatesTimedOut += s.timedOut
@@ -106,10 +114,48 @@ type batchValidator struct {
 	opts    Options
 	props   []proposal
 	outs    []valOutcome
-	queue   []int // indices needing computation, in proposal order
+	queue   []int   // indices needing computation, in proposal order
+	groups  [][]int // queue partitioned into sibling groups (see groupSiblings)
 	pos     atomic.Int64
 	lazy    bool // single worker: validate on demand in the merge loop
 	workers int
+	// batched lists the verifiers this batch installed a parse memo on
+	// (lazy mode only: the parents' own verifiers, which outlive the
+	// batch and must be unbatched in close). Worker clones die with the
+	// worker and need no cleanup.
+	batched []*verify.Incremental
+}
+
+// groupSiblings partitions the compute queue into sibling groups — same
+// parent, same set of edited devices — preserving proposal order within
+// each group, with groups ordered by first member. Sibling candidates
+// (different template instances at the same suspicious lines) leave every
+// other device's post-edit text identical and frequently collide even on
+// the edited device, so one worker validating a group under a shared
+// parse memo (verify.BeginBatch) parses each distinct text once instead
+// of once per sibling.
+func groupSiblings(props []proposal, queue []int) [][]int {
+	type gkey struct {
+		parent *candidate
+		devs   string
+	}
+	index := map[gkey]int{}
+	var groups [][]int
+	for _, i := range queue {
+		names := make([]string, 0, len(props[i].update.Edits))
+		for _, es := range props[i].update.Edits {
+			names = append(names, es.Device)
+		}
+		sort.Strings(names)
+		k := gkey{parent: props[i].parent, devs: strings.Join(names, "|")}
+		if gi, ok := index[k]; ok {
+			groups[gi] = append(groups[gi], i)
+		} else {
+			index[k] = len(groups)
+			groups = append(groups, []int{i})
+		}
+	}
+	return groups
 }
 
 // newBatchValidator classifies every proposal against the cache (hit,
@@ -168,10 +214,23 @@ func newBatchValidator(ctx context.Context, props []proposal, opts Options, cach
 		for _, i := range bv.queue {
 			bv.outs[i].done = make(chan struct{})
 		}
+		bv.groups = groupSiblings(props, bv.queue)
 		bv.bctx, bv.cancel = context.WithCancel(ctx)
 		for w := 0; w < workers; w++ {
 			bv.wg.Add(1)
 			go bv.worker()
+		}
+	} else if !opts.NoBatch {
+		// Lazy mode validates on the parents' own verifiers from the merge
+		// loop — still one goroutine, so the parse memo is safe to install
+		// there for the duration of the batch.
+		seen := map[*verify.Incremental]bool{}
+		for _, i := range bv.queue {
+			if iv := bv.props[i].parent.iv; !seen[iv] {
+				seen[iv] = true
+				iv.BeginBatch()
+				bv.batched = append(bv.batched, iv)
+			}
 		}
 	}
 	return bv
@@ -184,23 +243,33 @@ func newBatchValidator(ctx context.Context, props []proposal, opts Options, cach
 // returns immediately with the context error — so every done channel is
 // guaranteed to close and the merge loop can never block on an abandoned
 // slot.
+// Work is handed out in sibling groups rather than single proposals so
+// each group's checks run on one verifier clone behind a shared parse
+// memo; which worker runs a group cannot matter, because clones of the
+// same parent are interchangeable and the memo caches a pure function.
 func (bv *batchValidator) worker() {
 	defer bv.wg.Done()
 	clones := map[*candidate]*verify.Incremental{}
 	for {
 		n := int(bv.pos.Add(1)) - 1
-		if n >= len(bv.queue) {
+		if n >= len(bv.groups) {
 			return
 		}
-		i := bv.queue[n]
-		parent := bv.props[i].parent
+		group := bv.groups[n]
+		parent := bv.props[group[0]].parent // one parent per group, by construction
 		iv := clones[parent]
 		if iv == nil {
 			iv = parent.iv.Clone()
 			clones[parent] = iv
 		}
-		bv.validateOne(bv.bctx, i, iv)
-		close(bv.outs[i].done)
+		if !bv.opts.NoBatch {
+			iv.BeginBatch()
+		}
+		for _, i := range group {
+			bv.validateOne(bv.bctx, i, iv)
+			close(bv.outs[i].done)
+		}
+		iv.EndBatch()
 	}
 }
 
@@ -251,11 +320,16 @@ func (bv *batchValidator) resolve(i int) *valOutcome {
 
 // close winds the batch down: outstanding workers are cancelled (their
 // remaining validations return immediately) and joined, so no validation
-// goroutine ever outlives its batch.
+// goroutine ever outlives its batch, and any parse memo installed on a
+// long-lived verifier (lazy mode) is dropped.
 func (bv *batchValidator) close() {
 	if bv.cancel != nil {
 		bv.cancel()
 		bv.wg.Wait()
 		bv.cancel = nil
 	}
+	for _, iv := range bv.batched {
+		iv.EndBatch()
+	}
+	bv.batched = nil
 }

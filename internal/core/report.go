@@ -43,6 +43,10 @@ func (r *Result) Report(baseConfigs map[string]*netcfg.Config) string {
 		fmt.Fprintf(&sb, "impact analysis: %d statically refuted, %d scoped, %d broad, %d leaf-derived prefixes\n",
 			r.StaticallyRefuted, r.ImpactScoped, r.ImpactBroad, r.LeafDerivations)
 	}
+	if r.DeltaReused+r.DeltaResimulated+r.SimActivations > 0 {
+		fmt.Fprintf(&sb, "delta simulation: %d prefixes reused, %d resimulated, %d router activations\n",
+			r.DeltaReused, r.DeltaResimulated, r.SimActivations)
+	}
 	fmt.Fprintf(&sb, "cache: %d hits, %d misses  validation workers: %d\n",
 		r.CacheHits, r.CacheMisses, r.ParallelWorkers)
 	if r.StoreHits+r.StoreMisses+r.StoreCorrupt > 0 {
@@ -108,7 +112,11 @@ func (r *Result) Canonical() string {
 	// not what it decided. The impact-scoped and -no-impact paths agree on
 	// every fitness — and therefore on everything in this string — while
 	// doing very different amounts of simulation; the `-no-impact`
-	// byte-identity ablation is how tests enforce that agreement.
+	// byte-identity ablation is how tests enforce that agreement. The
+	// delta counters (DeltaReused/DeltaResimulated/SimActivations) are
+	// absent for the same reason: a delta run and a `-no-delta` run reach
+	// every fixpoint and verdict identically, differing only in how many
+	// router activations it took to get there.
 	fmt.Fprintf(&sb, "validated=%d\n", r.CandidatesValidated)
 	fmt.Fprintf(&sb, "static: diags=%d seeded=%d pruned=%d\n",
 		r.StaticDiagnostics, r.PriorSeededLines, r.TemplatesPrunedStatic)

@@ -60,14 +60,19 @@ func (o Options) SearchDigest() string {
 	// Canonical, so cached and uncached sessions must not mix.
 	// NoImpact is present for the same reason: the impact and
 	// legacy-dependency paths agree on every fitness (enforced by the
-	// differential mode) but not on the work counters.
+	// differential mode) but not on the work counters. NoDelta follows the
+	// NoImpact precedent: the delta and cold simulation paths agree on
+	// every outcome, but the checkpointed work counters differ, so delta
+	// and -no-delta sessions must not mix. NoBatch and the differential
+	// modes are absent: the parse memo is a pure cache and differential
+	// replay is purely observational — neither moves any counter.
 	// Store is deliberately absent, like Parallelism: the persistent
 	// evaluation store only substitutes disk reads for simulations without
 	// touching anything in Canonical, so a session may resume on a machine
 	// with a different -cache-dir, budget, or no store at all.
-	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v nocache=%v noimpact=%v\n",
+	fmt.Fprintf(h, "formula=%s iters=%d minsusp=%g topk=%d popcap=%d candcap=%d sample=%d strategy=%d seed=%d full=%v noprior=%v nocache=%v noimpact=%v nodelta=%v\n",
 		o.Formula.Name, o.MaxIterations, o.MinSusp, o.TopKLines, o.PopulationCap,
-		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache, o.NoImpact)
+		o.CandidateCap, o.SampleSize, o.Strategy, o.Seed, o.FullValidation, o.NoStaticPrior, o.NoCache, o.NoImpact, o.NoDelta)
 	for _, t := range o.Templates {
 		// Registry-resolved templates fold their full descriptor digest —
 		// name, description, error class, use-case, version, provenance —
@@ -187,6 +192,9 @@ func buildCheckpoint(res *Result, best *bestEffort, st loopState) journal.Checkp
 			ImpactScoped:          res.ImpactScoped,
 			ImpactBroad:           res.ImpactBroad,
 			LeafDerivations:       res.LeafDerivations,
+			DeltaReused:           res.DeltaReused,
+			DeltaResimulated:      res.DeltaResimulated,
+			SimActivations:        res.SimActivations,
 		},
 	}
 	for _, m := range st.pop {
@@ -242,6 +250,9 @@ func restoreCheckpoint(res *Result, best *bestEffort, p Problem, opts Options, c
 	res.ImpactScoped = cp.Counters.ImpactScoped
 	res.ImpactBroad = cp.Counters.ImpactBroad
 	res.LeafDerivations = cp.Counters.LeafDerivations
+	res.DeltaReused = cp.Counters.DeltaReused
+	res.DeltaResimulated = cp.Counters.DeltaResimulated
+	res.SimActivations = cp.Counters.SimActivations
 	res.Logs = nil
 	for _, l := range cp.Logs {
 		res.Logs = append(res.Logs, logFromJournal(l))

@@ -290,6 +290,12 @@ type RunResult struct {
 	StaticallyRefuted int
 	ImpactScoped      int
 	ImpactBroad       int
+	// DeltaReused / DeltaResimulated / SimActivations expose the delta
+	// re-simulation's work counters (reused/resimulated zero under
+	// -no-delta).
+	DeltaReused      int
+	DeltaResimulated int
+	SimActivations   int
 	// LocalizationRank is the best (smallest) SBFL rank over the ground
 	// truth lines, computed on the faulty configuration (0 = not ranked).
 	LocalizationRank int
@@ -322,6 +328,9 @@ func Run(inc *Incident, opts core.Options) *RunResult {
 	res.StaticallyRefuted = r.StaticallyRefuted
 	res.ImpactScoped = r.ImpactScoped
 	res.ImpactBroad = r.ImpactBroad
+	res.DeltaReused = r.DeltaReused
+	res.DeltaResimulated = r.DeltaResimulated
+	res.SimActivations = r.SimActivations
 	res.Termination = r.Termination
 	res.Improved = r.Improved
 	res.CandidatesPanicked = r.CandidatesPanicked

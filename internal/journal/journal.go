@@ -167,6 +167,9 @@ type Counters struct {
 	ImpactScoped          int `json:"impactScoped,omitempty"`
 	ImpactBroad           int `json:"impactBroad,omitempty"`
 	LeafDerivations       int `json:"leafDerivations,omitempty"`
+	DeltaReused           int `json:"deltaReused,omitempty"`
+	DeltaResimulated      int `json:"deltaResimulated,omitempty"`
+	SimActivations        int `json:"simActivations,omitempty"`
 }
 
 // ErrorEvent is a flattened engine error (stacks and wrapped causes do not

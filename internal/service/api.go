@@ -216,6 +216,9 @@ type ResultJSON struct {
 	StoreHits             int `json:"storeHits,omitempty"`
 	StoreMisses           int `json:"storeMisses,omitempty"`
 	StoreCorrupt          int `json:"storeCorrupt,omitempty"`
+	DeltaReused           int `json:"deltaReused,omitempty"`
+	DeltaResimulated      int `json:"deltaResimulated,omitempty"`
+	SimActivations        int `json:"simActivations,omitempty"`
 
 	Applied []string `json:"applied,omitempty"`
 	Diffs   []string `json:"diffs,omitempty"`
@@ -265,6 +268,9 @@ func NewResultJSON(res *core.Result) *ResultJSON {
 		StoreHits:             res.StoreHits,
 		StoreMisses:           res.StoreMisses,
 		StoreCorrupt:          res.StoreCorrupt,
+		DeltaReused:           res.DeltaReused,
+		DeltaResimulated:      res.DeltaResimulated,
+		SimActivations:        res.SimActivations,
 
 		Applied: res.Applied,
 		Diffs:   res.Diffs,

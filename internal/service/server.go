@@ -91,6 +91,9 @@ type Server struct {
 	busyWorkers         atomic.Int64
 	candidatesValidated atomic.Int64
 	panicsQuarantined   atomic.Int64
+	deltaReused         atomic.Int64
+	deltaResimulated    atomic.Int64
+	simActivations      atomic.Int64
 
 	startedAt time.Time
 }
@@ -719,6 +722,9 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) {
 	set("workers_busy", s.busyWorkers.Load())
 	set("candidates_validated", s.candidatesValidated.Load())
 	set("panics_quarantined", s.panicsQuarantined.Load())
+	set("delta_reused", s.deltaReused.Load())
+	set("delta_resimulated", s.deltaResimulated.Load())
+	set("sim_activations", s.simActivations.Load())
 	if s.evalStore != nil {
 		st := s.evalStore.Stats()
 		set("store_hits", st.Hits)

@@ -175,6 +175,9 @@ func (s *Server) runJob(j *job) {
 
 	s.candidatesValidated.Add(int64(res.CandidatesValidated))
 	s.panicsQuarantined.Add(int64(res.CandidatesPanicked))
+	s.deltaReused.Add(int64(res.DeltaReused))
+	s.deltaResimulated.Add(int64(res.DeltaResimulated))
+	s.simActivations.Add(int64(res.SimActivations))
 
 	j.mu.Lock()
 	drained := j.drained

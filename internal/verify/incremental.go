@@ -2,6 +2,7 @@ package verify
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -24,7 +25,17 @@ type Stats struct {
 	// PrefixesDerived counts prefixes whose candidate outcome was obtained
 	// by patching leaf entries of the base outcome (bgp.RederiveLeaves)
 	// instead of a full prefix simulation.
-	PrefixesDerived   int
+	PrefixesDerived int
+	// PrefixesDelta counts prefixes answered by delta re-simulation
+	// (bgp.DeltaSimulatePrefix): seeded from the base outcome, only the
+	// edit's wave of routers re-activated.
+	PrefixesDelta int
+	// DeltaFallbacks counts prefixes where the delta path refused the
+	// shortcut (non-converged base, pass bound) and a cold simulation ran.
+	DeltaFallbacks int
+	// Activations totals router activations across every simulation this
+	// check ran — the device·prefix work unit the delta benchmark compares.
+	Activations       int
 	IntentsTotal      int
 	IntentsReverified int
 	// Broad marks a change the dependency analysis could not scope (e.g. a
@@ -63,6 +74,16 @@ type Incremental struct {
 	// full check and fails the check with a *DivergenceError when any
 	// intent verdict differs — the soundness enforcement mode.
 	Differential bool
+	// NoDelta disables delta re-simulation on the impact-scoped path and
+	// runs every needed prefix simulation from a cold start — the ablation
+	// baseline (`acr repair -no-delta`).
+	NoDelta bool
+	// DeltaDifferential replays every delta-simulated prefix against a
+	// cold full simulation and fails the check with a
+	// *DeltaDivergenceError (minimized repro attached by CheckCtx) when
+	// the outcomes differ — the soundness enforcement mode for the delta
+	// simulator (`acr repair -delta-differential`).
+	DeltaDifferential bool
 
 	configs map[string]*netcfg.Config
 	files   map[string]*netcfg.File
@@ -80,7 +101,17 @@ type Incremental struct {
 	// after rebase and shared by reference across clones.
 	graph  *provenance.DeviceGraph
 	impact *analysis.ImpactAnalyzer
+
+	// batch, when non-nil, memoizes candidate parses across the sibling
+	// checks of one batch (BeginBatch/EndBatch): sibling candidates that
+	// produce the same post-edit text on a device share one parsed
+	// *netcfg.File, which is safe because parsed files are immutable.
+	// Never shared across goroutines — Clone resets it.
+	batch map[parseKey]*netcfg.File
 }
+
+// parseKey identifies a candidate parse by device and full post-edit text.
+type parseKey struct{ device, text string }
 
 // NewIncremental verifies the base configuration fully and builds the
 // dependency index.
@@ -149,7 +180,34 @@ func (iv *Incremental) Clone() *Incremental {
 	for l, m := range iv.lineDeps { //acrvet:ordered
 		cp.lineDeps[l] = m // inner maps are read-only after rebase
 	}
+	cp.batch = nil // batch memos are per-goroutine; never inherited
 	return &cp
+}
+
+// BeginBatch installs a parse memo shared by the checks that follow on
+// this verifier: sibling candidates producing identical post-edit text on
+// a device parse it once. Purely a cache of a deterministic function —
+// verdicts and reports are byte-identical with or without it. Not safe
+// for concurrent use; batch on the clone that runs the checks.
+func (iv *Incremental) BeginBatch() { iv.batch = map[parseKey]*netcfg.File{} }
+
+// EndBatch drops the parse memo installed by BeginBatch.
+func (iv *Incremental) EndBatch() { iv.batch = nil }
+
+// parseFile parses a candidate config, answering from the batch memo when
+// one is installed.
+func (iv *Incremental) parseFile(d string, c *netcfg.Config) *netcfg.File {
+	if iv.batch == nil {
+		f, _ := netcfg.Parse(c)
+		return f
+	}
+	k := parseKey{device: d, text: c.Text()}
+	if f, ok := iv.batch[k]; ok {
+		return f
+	}
+	f, _ := netcfg.Parse(c)
+	iv.batch[k] = f
+	return f
 }
 
 // Base accessors.
@@ -221,7 +279,16 @@ func (iv *Incremental) Check(edits []netcfg.EditSet) (*Report, Stats, error) {
 // a full check and any verdict mismatch returns a *DivergenceError.
 func (iv *Incremental) CheckCtx(ctx context.Context, edits []netcfg.EditSet) (*Report, Stats, error) {
 	rep, stats, err := iv.checkPrunedCtx(ctx, edits)
-	if err != nil || !iv.Differential {
+	if err != nil {
+		// A delta divergence surfaces here from deep inside the per-prefix
+		// loop; attach the minimized reproduction before it propagates.
+		var dde *DeltaDivergenceError
+		if errors.As(err, &dde) && dde.Edits == nil {
+			dde.Edits = iv.minimizeDeltaDivergence(ctx, edits)
+		}
+		return rep, stats, err
+	}
+	if !iv.Differential {
 		return rep, stats, err
 	}
 	full, err := iv.FullCheckCtx(ctx, edits)
@@ -318,8 +385,7 @@ func (iv *Incremental) checkDependencyCtx(ctx context.Context, edits []netcfg.Ed
 			newFiles[d] = iv.files[d]
 			continue
 		}
-		f, _ := netcfg.Parse(c)
-		newFiles[d] = f
+		newFiles[d] = iv.parseFile(d, c)
 	}
 	newNet := bgp.Compile(iv.Topo, newFiles)
 
@@ -360,6 +426,7 @@ func (iv *Incremental) checkDependencyCtx(ctx context.Context, edits []netcfg.Ed
 			}
 			newOut.ByPrefix[p] = po
 			stats.PrefixesSimulated++
+			stats.Activations += po.Activations
 		} else {
 			newOut.ByPrefix[p] = iv.out.ByPrefix[p]
 		}
@@ -423,12 +490,21 @@ func (iv *Incremental) checkImpactCtx(ctx context.Context, edits []netcfg.EditSe
 			newFiles[d] = iv.files[d]
 			continue
 		}
-		f, _ := netcfg.Parse(c)
-		newFiles[d] = f
+		newFiles[d] = iv.parseFile(d, c)
 	}
 	im := iv.impact.Compare(newFiles)
 	newNet := bgp.Compile(iv.Topo, newFiles)
 	broad := im.Broad
+
+	// The dirty set for delta re-simulation: exactly the devices whose
+	// configuration text changed (re-parsed above). Collected in topology
+	// order for determinism.
+	var dirty []string
+	for _, d := range iv.net.Order {
+		if newFiles[d] != iv.files[d] {
+			dirty = append(dirty, d)
+		}
+	}
 
 	// Cross-check 1: the session set must not change unless predicted.
 	fpChanged := sessionFingerprint(iv.net) != sessionFingerprint(newNet)
@@ -614,9 +690,33 @@ func (iv *Incremental) checkImpactCtx(ctx context.Context, edits []netcfg.EditSe
 	simOpts := iv.SimOpts
 	simOpts.Ctx = ctx
 	newOut := &bgp.Outcome{Net: newNet, ByPrefix: map[netip.Prefix]*bgp.PrefixOutcome{}}
+	// Delta re-simulation seeds each needed prefix from the base outcome
+	// and propagates only from the dirty devices. It requires an unchanged
+	// session fingerprint: the seed state's adj-in structure must be the
+	// candidate's session structure. Broad impact is fine — broad widens
+	// which prefixes are simulated, not how each one is.
+	useDelta := !iv.NoDelta && !fpChanged && len(dirty) > 0
 	simulate := func(p netip.Prefix) error {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if useDelta {
+			if po, ok := bgp.DeltaSimulatePrefix(newNet, iv.out.ByPrefix[p], dirty, p, simOpts); ok {
+				if iv.DeltaDifferential {
+					full := bgp.SimulatePrefix(newNet, p, simOpts)
+					if full.Canceled {
+						return ctx.Err()
+					}
+					if dev, dk, fk := deltaOutcomesDiverge(po, full, newNet.Order); dev != "" {
+						return &DeltaDivergenceError{Prefix: p, Device: dev, Delta: dk, Full: fk}
+					}
+				}
+				newOut.ByPrefix[p] = po
+				stats.PrefixesDelta++
+				stats.Activations += po.Activations
+				return nil
+			}
+			stats.DeltaFallbacks++
 		}
 		po := bgp.SimulatePrefix(newNet, p, simOpts)
 		if po.Canceled {
@@ -624,6 +724,7 @@ func (iv *Incremental) checkImpactCtx(ctx context.Context, edits []netcfg.EditSe
 		}
 		newOut.ByPrefix[p] = po
 		stats.PrefixesSimulated++
+		stats.Activations += po.Activations
 		return nil
 	}
 	for _, p := range newAll {
@@ -810,8 +911,10 @@ func (iv *Incremental) FullCheckCtx(ctx context.Context, edits []netcfg.EditSet)
 	}
 	files := map[string]*netcfg.File{}
 	for d, c := range newConfigs { //acrvet:ordered
-		f, _ := netcfg.Parse(c)
-		files[d] = f
+		// The batch memo is safe here too: parsing is pure, so a full check
+		// reusing a sibling's parse still recompiles and re-simulates from
+		// scratch — which is the reuse FullCheck promises not to do.
+		files[d] = iv.parseFile(d, c)
 	}
 	n := bgp.Compile(iv.Topo, files)
 	simOpts := iv.SimOpts
